@@ -1,0 +1,43 @@
+// F10 — "ABCCC achieves the best trade-off among all these critical metrics
+// and it suits for many different applications by fine tuning its
+// parameters": the c-sweep. One table, every metric, c = 2..k+2 at fixed
+// (n, k): the reader picks a column to optimize and a row to deploy.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/bisection.h"
+#include "topology/abccc.h"
+#include "topology/cost_model.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F10", "the port-count knob: ABCCC(4,3,c) for c = 2..5");
+
+  const int n = 4, k = 3;
+  Table table{{"c", "rows(m)", "servers", "ports/srv", "diameter", "bisection",
+               "bisect/N", "net-$/srv", "perm-ABT/N"}};
+  Rng rng{bench::kDefaultSeed};
+  for (int c = 2; c <= k + 2; ++c) {
+    const topo::AbcccParams params{n, k, c};
+    const topo::Abccc net{params};
+    const topo::CapexReport cost = topo::EvaluateCost(net);
+    const std::int64_t bisection = metrics::MeasureBisection(net);
+    Rng run_rng = rng.Fork();
+    const sim::FlowSimResult throughput = bench::PermutationThroughput(net, run_rng);
+    const auto servers = static_cast<double>(net.ServerCount());
+    table.AddRow({Table::Cell(c), Table::Cell(params.RowLength()),
+                  Table::Cell(net.ServerCount()), Table::Cell(net.ServerPorts()),
+                  Table::Cell(bench::ServerEccentricity(net)),
+                  Table::Cell(bisection),
+                  Table::Cell(static_cast<double>(bisection) / servers, 3),
+                  Table::Cell(cost.network_per_server_usd, 1),
+                  Table::Cell(throughput.abt / servers, 3)});
+  }
+  table.Print(std::cout, "F10: fine-tuning c");
+  std::cout << "\nExpected shape: every step of c shortens rows (m) and the "
+               "diameter, raises per-server bisection and ABT, and raises "
+               "NIC cost; c=2 is BCCC's cost point, c=k+2 is BCube's "
+               "performance point — ABCCC covers the whole segment.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// F14 (ablation) — packet-level multipath spraying: the per-packet
+// counterpart of F11's flow-level balancing. Sources spray packets across
+// their rotated digit-fixing routes instead of pinning one path.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "routing/abccc_routing.h"
+#include "routing/multipath.h"
+#include "sim/packetsim.h"
+#include "topology/abccc.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F14", "packet spraying over parallel digit-fixing routes");
+
+  const topo::Abccc net{topo::AbcccParams{4, 2, 2}};
+  Rng rng{bench::kDefaultSeed};
+  const std::vector<sim::Flow> flows = sim::PermutationTraffic(net, rng);
+  std::vector<routing::Route> single;
+  std::vector<std::vector<routing::Route>> sets;
+  for (const sim::Flow& flow : flows) {
+    single.push_back(routing::AbcccRoute(net, flow.src, flow.dst));
+    sets.push_back(routing::RotatedLevelOrderRoutes(net, flow.src, flow.dst));
+  }
+
+  Table table{{"load", "policy", "delivered", "mean-lat", "p99-lat",
+               "max-util", "max-queue"}};
+  for (double load : {0.2, 0.4, 0.6, 0.8}) {
+    sim::PacketSimConfig config;
+    config.offered_load = load;
+    config.duration = 1200;
+    config.warmup = 300;
+
+    struct Run {
+      std::string name;
+      sim::PacketSimResult result;
+    };
+    std::vector<Run> runs;
+    runs.push_back({"single-path", sim::RunPacketSim(net.Network(), single, config)});
+    runs.push_back({"spray-rr", sim::RunPacketSimMultipath(
+                                    net.Network(), sets, config,
+                                    sim::SprayPolicy::kRoundRobin)});
+    runs.push_back({"spray-random", sim::RunPacketSimMultipath(
+                                        net.Network(), sets, config,
+                                        sim::SprayPolicy::kRandomPerPacket)});
+    for (const Run& run : runs) {
+      table.AddRow({Table::Cell(load, 1), run.name,
+                    Table::Percent(run.result.DeliveredFraction(), 1),
+                    Table::Cell(run.result.latency.Mean(), 2),
+                    Table::Cell(run.result.latency.Percentile(0.99), 1),
+                    Table::Cell(run.result.max_link_utilization, 2),
+                    Table::Cell(run.result.max_queue_depth)});
+    }
+  }
+  table.Print(std::cout, "F14: ABCCC(4,2,2) permutation traffic");
+  std::cout << "\nExpected shape: spraying flattens the hottest link "
+               "(max-util) and sustains delivery deeper into the load range "
+               "than single-path, at slightly higher mean latency (longer "
+               "rotations); round-robin and random spray track each other.\n";
+  return 0;
+}

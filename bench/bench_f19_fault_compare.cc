@@ -1,0 +1,105 @@
+// F19 (ablation) — fault tolerance ACROSS topologies, each using its own
+// repair machinery (ABCCC digit detours, BCube BSR-style detours, DCell and
+// FiConn proxy rerouting, fat-tree ECMP re-hashing). Two views per failure rate:
+// structured repair only (fallback off) and the connectivity ceiling
+// (fallback on).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "graph/bfs.h"
+#include "routing/baseline_fault.h"
+#include "routing/fault_routing.h"
+#include "sim/failures.h"
+#include "topology/abccc.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F19", "native fault repair per topology vs connectivity");
+
+  const topo::Abccc abccc{topo::AbcccParams{4, 2, 2}};
+  const topo::Abccc abccc3{topo::AbcccParams{4, 2, 3}};
+  const topo::Bcube bcube{4, 2};
+  const topo::Dcell dcell{4, 1};
+  const topo::FiConn ficonn{8, 2};
+  const topo::FatTree fattree{8};
+
+  Table table{{"topology", "fail-rate", "repair-only", "with-fallback",
+               "connected", "mean-stretch"}};
+  Rng rng{bench::kDefaultSeed};
+  const int trials = 300;
+
+  auto run = [&](const topo::Topology& net, auto route_fn) {
+    for (double rate : {0.02, 0.05, 0.10}) {
+      Rng fail_rng{bench::kDefaultSeed + static_cast<std::uint64_t>(rate * 1e4)};
+      const graph::FailureSet failures =
+          sim::RandomFailures(net, rate, rate, rate / 2, fail_rng);
+      int repaired = 0, total = 0, connected = 0;
+      OnlineStats stretch;
+      Rng pair_rng{bench::kDefaultSeed + 3};
+      for (int t = 0; t < trials; ++t) {
+        const auto servers = net.Servers();
+        const graph::NodeId src = servers[pair_rng.NextUint64(servers.size())];
+        graph::NodeId dst = src;
+        while (dst == src) dst = servers[pair_rng.NextUint64(servers.size())];
+        ++total;
+        const std::vector<graph::NodeId> shortest =
+            graph::ShortestPath(net.Network(), src, dst, &failures);
+        if (!shortest.empty()) ++connected;
+
+        routing::FaultRoutingOptions repair_only;
+        repair_only.allow_bfs_fallback = false;
+        const routing::Route structured =
+            route_fn(src, dst, failures, rng, repair_only);
+        if (!structured.Empty()) {
+          ++repaired;
+          if (!shortest.empty()) {
+            stretch.Add(static_cast<double>(structured.LinkCount()) /
+                        static_cast<double>(shortest.size() - 1));
+          }
+        }
+      }
+      // Fallback-enabled success equals connectivity by construction
+      // (verified in tests); report the ceiling from the BFS count.
+      table.AddRow({net.Describe(), Table::Percent(rate, 0),
+                    Table::Percent(static_cast<double>(repaired) / total, 1),
+                    Table::Percent(static_cast<double>(connected) / total, 1),
+                    Table::Percent(static_cast<double>(connected) / total, 1),
+                    stretch.Count() > 0 ? Table::Cell(stretch.Mean(), 2)
+                                        : std::string{"-"}});
+    }
+  };
+
+  run(abccc, [&](auto src, auto dst, const auto& failures, Rng& r,
+                 const routing::FaultRoutingOptions& o) {
+    return routing::AbcccFaultTolerantRoute(abccc, src, dst, failures, r, o);
+  });
+  run(abccc3, [&](auto src, auto dst, const auto& failures, Rng& r,
+                  const routing::FaultRoutingOptions& o) {
+    return routing::AbcccFaultTolerantRoute(abccc3, src, dst, failures, r, o);
+  });
+  run(bcube, [&](auto src, auto dst, const auto& failures, Rng& r,
+                 const routing::FaultRoutingOptions& o) {
+    return routing::BcubeFaultTolerantRoute(bcube, src, dst, failures, r, o);
+  });
+  run(dcell, [&](auto src, auto dst, const auto& failures, Rng& r,
+                 const routing::FaultRoutingOptions& o) {
+    return routing::DcellFaultTolerantRoute(dcell, src, dst, failures, r, o);
+  });
+  run(ficonn, [&](auto src, auto dst, const auto& failures, Rng& r,
+                  const routing::FaultRoutingOptions& o) {
+    return routing::ProxyRepairRoute(ficonn, src, dst, failures, r, o);
+  });
+  run(fattree, [&](auto src, auto dst, const auto& failures, Rng& r,
+                   const routing::FaultRoutingOptions& o) {
+    return routing::FatTreeFaultTolerantRoute(fattree, src, dst, failures, r, o);
+  });
+
+  table.Print(std::cout, "F19: structured repair vs connectivity ceiling");
+  std::cout << "\nExpected shape: BCube's k+1 planes give it the highest "
+               "repair-only success; ABCCC tracks it with c-1 planes plus "
+               "crossbar detours (higher c closes the gap); DCell's proxy "
+               "repair is weakest; fat-tree's ceiling itself drops because "
+               "dead edge switches orphan their single-NIC hosts.\n";
+  return 0;
+}

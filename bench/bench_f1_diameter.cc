@@ -1,0 +1,41 @@
+// F1 — "short diameter": diameter vs network size per topology family.
+// Each series grows its order/radix; the claim is that ABCCC's diameter is
+// linear in k (like BCCC) and stays far below DCell's doubling growth while
+// using far fewer server ports than BCube at the same size.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "topology/abccc.h"
+#include "topology/bccc.h"
+#include "topology/bcube.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+#include "topology/ficonn.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F1", "diameter vs network size (series per topology)");
+
+  Table table{{"topology", "config", "servers", "ports/srv", "diameter"}};
+  auto add = [&](const topo::Topology& net) {
+    table.AddRow({net.Name(), net.Describe(), Table::Cell(net.ServerCount()),
+                  Table::Cell(net.ServerPorts()),
+                  Table::Cell(bench::ServerEccentricity(net))});
+  };
+
+  for (int k = 0; k <= 4; ++k) add(topo::Abccc{topo::AbcccParams{4, k, 2}});
+  for (int k = 0; k <= 4; ++k) add(topo::Abccc{topo::AbcccParams{4, k, 3}});
+  for (int k = 0; k <= 4; ++k) add(topo::Bcube{topo::BcubeParams{4, k}});
+  for (int k = 0; k <= 2; ++k) add(topo::Dcell{topo::DcellParams{4, k}});
+  for (int k = 0; k <= 3; ++k) add(topo::FiConn{topo::FiConnParams{4, k}});
+  for (int f : {4, 8, 16}) add(topo::FatTree{topo::FatTreeParams{f}});
+
+  table.Print(std::cout, "F1: diameter growth");
+  std::cout << "\nExpected shape: ABCCC/BCCC diameters grow linearly in k "
+               "(~4k+2 for c=2, less for larger c); BCube grows as 2(k+1) but "
+               "needs k+1 ports; DCell roughly doubles per level; fat-tree is "
+               "flat at 6 but cannot grow without re-cabling.\n";
+  return 0;
+}

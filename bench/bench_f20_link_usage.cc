@@ -1,0 +1,48 @@
+// F20 (ablation) — where the bits flow: per-link-class load under permutation
+// traffic, across the c knob and the permutation strategies. Shows which
+// plane is the effective bottleneck (the quantity the c knob and the
+// permutation choice actually move).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/link_usage.h"
+#include "routing/abccc_routing.h"
+#include "topology/abccc.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F20", "per-link-class load under permutation traffic");
+
+  Table table{{"config", "strategy", "class", "links", "mean-load", "max-load"}};
+  Rng rng{bench::kDefaultSeed};
+  for (const topo::AbcccParams& params :
+       {topo::AbcccParams{4, 2, 2}, topo::AbcccParams{4, 2, 3}}) {
+    const topo::Abccc net{params};
+    Rng traffic_rng = rng.Fork();
+    const std::vector<sim::Flow> flows = sim::PermutationTraffic(net, traffic_rng);
+    for (routing::PermutationStrategy strategy :
+         {routing::PermutationStrategy::kGroupedFromSource,
+          routing::PermutationStrategy::kBalancedHash}) {
+      std::vector<routing::Route> routes;
+      for (const sim::Flow& flow : flows) {
+        routes.push_back(
+            routing::AbcccRoute(net, flow.src, flow.dst, strategy, &rng));
+      }
+      for (const metrics::LinkClassUsage& cls :
+           metrics::ClassifyLinkUsage(net, routes)) {
+        table.AddRow({net.Describe(), routing::ToString(strategy), cls.name,
+                      Table::Cell(cls.links), Table::Cell(cls.mean_load, 2),
+                      Table::Cell(cls.max_load, 0)});
+      }
+    }
+  }
+  table.Print(std::cout, "F20: link-class utilization");
+  std::cout << "\nExpected shape: each level class carries exactly one "
+               "crossing per differing digit, so its TOTAL load is strategy-"
+               "invariant — the strategy only moves crossings between links "
+               "within a class and changes the crossbar bill (balanced-hash "
+               "pays ~30% more crossbar traversals than grouped). Raising c "
+               "drops every class's mean load: shorter rows, fewer hops.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// F2 — "an efficient routing algorithm for one-to-one communication".
+// Native digit-fixing routing vs BFS shortest paths, and the ablation over
+// permutation strategies (sequential / grouped / random) from the ICC'15
+// companion paper.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "graph/bfs.h"
+#include "routing/abccc_routing.h"
+#include "topology/abccc.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F2",
+                     "routed path length vs shortest path; permutation strategies");
+
+  Table table{{"config", "strategy", "mean-links", "p99-links", "max-links",
+               "mean-stretch", "bound"}};
+  Rng rng{bench::kDefaultSeed};
+
+  const std::vector<topo::AbcccParams> configs{
+      {4, 1, 2}, {4, 2, 2}, {4, 3, 2}, {4, 2, 3}, {4, 3, 3}, {6, 2, 2}};
+  for (const topo::AbcccParams& params : configs) {
+    const topo::Abccc net{params};
+    const auto servers = net.Servers();
+    for (routing::PermutationStrategy strategy :
+         {routing::PermutationStrategy::kSequential,
+          routing::PermutationStrategy::kGroupedFromSource,
+          routing::PermutationStrategy::kRandom,
+          routing::PermutationStrategy::kBalancedHash}) {
+      IntHistogram lengths;
+      OnlineStats stretch;
+      for (int trial = 0; trial < 300; ++trial) {
+        const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+        graph::NodeId dst = src;
+        while (dst == src) dst = servers[rng.NextUint64(servers.size())];
+        const routing::Route route =
+            routing::AbcccRoute(net, src, dst, strategy, &rng);
+        lengths.Add(static_cast<std::int64_t>(route.LinkCount()));
+        const std::vector<graph::NodeId> shortest =
+            graph::ShortestPath(net.Network(), src, dst);
+        stretch.Add(static_cast<double>(route.LinkCount()) /
+                    static_cast<double>(shortest.size() - 1));
+      }
+      table.AddRow({net.Describe(), routing::ToString(strategy),
+                    Table::Cell(lengths.Mean(), 2),
+                    Table::Cell(lengths.Percentile(0.99)),
+                    Table::Cell(lengths.Max()), Table::Cell(stretch.Mean(), 3),
+                    Table::Cell(net.RouteLengthBound())});
+    }
+  }
+  table.Print(std::cout, "F2: one-to-one routing efficiency");
+  std::cout << "\nExpected shape: grouped <= sequential <= random in mean "
+               "length; stretch stays close to 1 and never exceeds ~1.5 — the "
+               "deterministic algorithm is near-optimal without any search.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// F3 — "bisection bandwidth" comparison: measured min-cut (max-flow between
+// the canonical halves) vs the analytic value, across sizes and topologies.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/bisection.h"
+#include "topology/abccc.h"
+#include "topology/bccc.h"
+#include "topology/bcube.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F3", "bisection width vs network size");
+
+  Table table{{"topology", "servers", "bisection", "theory", "bisection/N"}};
+  auto add = [&](const topo::Topology& net) {
+    const std::int64_t cut = metrics::MeasureBisection(net);
+    const double theory = net.TheoreticalBisection();
+    table.AddRow({net.Describe(), Table::Cell(net.ServerCount()),
+                  Table::Cell(cut), theory > 0 ? Table::Cell(theory, 0) : std::string{"-"},
+                  Table::Cell(static_cast<double>(cut) /
+                                  static_cast<double>(net.ServerCount()),
+                              3)});
+  };
+
+  for (int k = 1; k <= 3; ++k) add(topo::Abccc{topo::AbcccParams{4, k, 2}});
+  add(topo::Abccc{topo::AbcccParams{4, 2, 3}});
+  add(topo::Abccc{topo::AbcccParams{4, 2, 4}});
+  for (int k = 1; k <= 3; ++k) add(topo::Bcube{topo::BcubeParams{4, k}});
+  for (int k = 1; k <= 2; ++k) add(topo::Dcell{topo::DcellParams{4, k}});
+  for (int f : {4, 8, 16}) add(topo::FatTree{topo::FatTreeParams{f}});
+
+  table.Print(std::cout, "F3: bisection width");
+  std::cout << "\nExpected shape: fat-tree sustains bisection/N = 0.5 (full "
+               "bisection); BCube and ABCCC's digit cut gives n^k*(n/2) links "
+               "— per server that is 1/(2m) for ABCCC, so larger c (smaller "
+               "rows) recovers BCube's per-server bisection; DCell is lowest.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// F4 — "capital expenditure": network cost per server vs deployment size,
+// under the commodity cost model of topology/cost_model.h. The paper's
+// claim is that ABCCC reaches BCube-class diameter at near-BCCC cost, and
+// that the knob c moves smoothly between the two.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "topology/abccc.h"
+#include "topology/bccc.h"
+#include "topology/bcube.h"
+#include "topology/cost_model.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+#include "topology/ficonn.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F4", "network CAPEX per server vs size");
+
+  const topo::CostModel model;  // documented 2015-era commodity defaults
+  Table table{{"topology", "servers", "NICs/srv", "sw-ports/srv", "net-$/srv",
+               "net-W/srv"}};
+  auto add = [&](const topo::Topology& net) {
+    const topo::CapexReport cost = topo::EvaluateCost(net, model);
+    const auto n = static_cast<double>(cost.servers);
+    table.AddRow({net.Describe(), Table::Cell(net.ServerCount()),
+                  Table::Cell(static_cast<double>(cost.nic_ports) / n, 2),
+                  Table::Cell(static_cast<double>(cost.switch_ports) / n, 2),
+                  Table::Cell(cost.network_per_server_usd, 1),
+                  Table::Cell(cost.network_watts / n, 1)});
+  };
+
+  for (int k = 1; k <= 4; ++k) add(topo::Abccc{topo::AbcccParams{4, k, 2}});
+  for (int k = 2; k <= 4; ++k) add(topo::Abccc{topo::AbcccParams{4, k, 3}});
+  for (int k = 1; k <= 4; ++k) add(topo::Bcube{topo::BcubeParams{4, k}});
+  for (int k = 1; k <= 2; ++k) add(topo::Dcell{topo::DcellParams{4, k}});
+  for (int k = 1; k <= 2; ++k) add(topo::FiConn{topo::FiConnParams{8, k}});
+  for (int f : {8, 16}) add(topo::FatTree{topo::FatTreeParams{f}});
+
+  table.Print(std::cout, "F4: capital expenditure");
+  std::cout << "\nExpected shape: BCube's NICs/srv (= k+1) makes its cost "
+               "climb with size while ABCCC stays flat at c NICs; the fat-tree "
+               "pays ~3 switch ports per server at every size; the crossover "
+               "where ABCCC undercuts BCube appears by k=2 and widens.\n";
+  return 0;
+}

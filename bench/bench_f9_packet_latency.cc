@@ -1,0 +1,51 @@
+// F9 — packet-level validation of the simulation story: end-to-end latency
+// and delivery ratio vs offered load under permutation traffic, ABCCC vs
+// BCube at matched size. Complements F6's flow-level numbers with queueing.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/packetsim.h"
+#include "topology/abccc.h"
+#include "topology/bcube.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("F9", "packet latency and loss vs offered load");
+
+  std::vector<std::unique_ptr<topo::Topology>> nets;
+  nets.push_back(std::make_unique<topo::Abccc>(topo::AbcccParams{4, 1, 2}));
+  nets.push_back(std::make_unique<topo::Abccc>(topo::AbcccParams{4, 1, 3}));
+  nets.push_back(std::make_unique<topo::Bcube>(4, 1));
+
+  Table table{{"topology", "servers", "load", "delivered", "mean-lat", "p50",
+               "p99"}};
+  Rng rng{bench::kDefaultSeed};
+  for (const auto& net : nets) {
+    Rng traffic_rng = rng.Fork();
+    const std::vector<sim::Flow> flows = sim::PermutationTraffic(*net, traffic_rng);
+    const std::vector<routing::Route> routes = bench::NativeRoutes(*net, flows);
+    for (double load : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+      sim::PacketSimConfig config;
+      config.offered_load = load;
+      config.duration = 1500;
+      config.warmup = 300;
+      config.queue_capacity = 16;
+      const sim::PacketSimResult result =
+          sim::RunPacketSim(net->Network(), routes, config);
+      table.AddRow({net->Describe(), Table::Cell(net->ServerCount()),
+                    Table::Cell(load, 2),
+                    Table::Percent(result.DeliveredFraction(), 1),
+                    Table::Cell(result.latency.Mean(), 2),
+                    Table::Cell(result.latency.Percentile(0.5), 1),
+                    Table::Cell(result.latency.Percentile(0.99), 1)});
+    }
+  }
+  table.Print(std::cout, "F9: packet-level latency vs load");
+  std::cout << "\nExpected shape: latency is flat near the hop count at low "
+               "load and climbs past the knee (~0.5-0.7 for permutation "
+               "traffic on 2-port designs); larger c pushes the knee right "
+               "because rows relay through more planes.\n";
+  return 0;
+}

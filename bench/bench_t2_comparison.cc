@@ -1,0 +1,57 @@
+// T2 — "We make comprehensive comparisons between ABCCC and some popular
+// existing structures in terms of several critical metrics, such as diameter,
+// network size, bisection bandwidth and capital expenditure."
+// One row per topology at a comparable scale (~1000 servers).
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/bisection.h"
+#include "metrics/path_metrics.h"
+#include "topology/abccc.h"
+#include "topology/bccc.h"
+#include "topology/bcube.h"
+#include "topology/cost_model.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+#include "topology/ficonn.h"
+
+int main() {
+  using namespace dcn;
+  bench::PrintHeader("T2",
+                     "ABCCC vs BCCC / BCube / DCell / FiConn / fat-tree, ~1k servers");
+
+  std::vector<std::unique_ptr<topo::Topology>> nets;
+  nets.push_back(std::make_unique<topo::Abccc>(topo::AbcccParams{4, 3, 2}));
+  nets.push_back(std::make_unique<topo::Abccc>(topo::AbcccParams{4, 3, 3}));
+  nets.push_back(std::make_unique<topo::Bccc>(4, 3));
+  nets.push_back(std::make_unique<topo::Bcube>(4, 4));
+  nets.push_back(std::make_unique<topo::Dcell>(5, 2));
+  nets.push_back(std::make_unique<topo::FiConn>(12, 2));
+  nets.push_back(std::make_unique<topo::FatTree>(16));
+
+  Table table{{"topology", "servers", "ports/srv", "switches", "links",
+               "diameter", "ASPL", "stretch", "bisection", "net-$/srv", "W/srv"}};
+  Rng rng{bench::kDefaultSeed};
+  for (const auto& net : nets) {
+    Rng sample_rng = rng.Fork();
+    const metrics::SampledPathStats paths =
+        metrics::SamplePathStats(*net, 12, 40, sample_rng);
+    const topo::CapexReport cost = topo::EvaluateCost(*net);
+    table.AddRow({net->Describe(), Table::Cell(net->ServerCount()),
+                  Table::Cell(net->ServerPorts()), Table::Cell(net->SwitchCount()),
+                  Table::Cell(net->LinkCount()),
+                  Table::Cell(paths.diameter_lower_bound),
+                  Table::Cell(paths.shortest.Mean(), 2),
+                  Table::Cell(paths.mean_stretch, 2),
+                  Table::Cell(metrics::MeasureBisection(*net)),
+                  Table::Cell(cost.network_per_server_usd, 0),
+                  Table::Cell(cost.network_watts / static_cast<double>(cost.servers), 1)});
+  }
+  table.Print(std::cout, "T2: cross-topology comparison");
+  std::cout << "\nExpected shape: ABCCC/BCCC match BCube's scale with 2-3 NIC "
+               "ports instead of 5; fat-tree wins bisection but pays the most "
+               "switch hardware per server; DCell's diameter grows fastest.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the experiment binaries (bench/bench_*.cc).
+//
+// Each binary regenerates one table or figure of the reconstructed ABCCC
+// evaluation (see DESIGN.md §3 and EXPERIMENTS.md). They print pipe-aligned
+// tables so runs are diff-able; parameters are overridable via --key=value.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/bfs.h"
+#include "metrics/path_metrics.h"
+#include "routing/route.h"
+#include "sim/flowsim.h"
+#include "sim/traffic.h"
+#include "topology/topology.h"
+
+namespace dcn::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 0xabccc2015u;
+
+// Eccentricity of server 0 in links, restricted to server targets. All the
+// topologies here are vertex-transitive at the server level (or close to it:
+// ABCCC roles see symmetric views), so this equals — and is always a lower
+// bound on — the diameter, at BFS cost instead of all-pairs cost.
+inline int ServerEccentricity(const topo::Topology& net) {
+  const std::vector<int> dist = graph::BfsDistances(net.Network(), net.Servers()[0]);
+  int ecc = 0;
+  for (const graph::NodeId server : net.Servers()) {
+    ecc = std::max(ecc, dist[server]);
+  }
+  return ecc;
+}
+
+// Native routes for a flow set (one route per flow, the topology's own
+// routing algorithm).
+inline std::vector<routing::Route> NativeRoutes(const topo::Topology& net,
+                                                const std::vector<sim::Flow>& flows) {
+  std::vector<routing::Route> routes;
+  routes.reserve(flows.size());
+  for (const sim::Flow& flow : flows) {
+    routes.push_back(routing::Route{net.Route(flow.src, flow.dst)});
+  }
+  return routes;
+}
+
+// Max-min fair throughput of a permutation workload under native routing.
+inline sim::FlowSimResult PermutationThroughput(const topo::Topology& net,
+                                                Rng& rng) {
+  const std::vector<sim::Flow> flows = sim::PermutationTraffic(net, rng);
+  return sim::MaxMinFairRates(net.Network(), NativeRoutes(net, flows));
+}
+
+inline void PrintHeader(const std::string& id, const std::string& claim) {
+  std::cout << "\n### " << id << " — " << claim << "\n"
+            << "(seed " << kDefaultSeed << "; shapes, not absolute values, are "
+            << "the reproduction target)\n\n";
+}
+
+}  // namespace dcn::bench

@@ -1,0 +1,132 @@
+// Capacity planner: "I need at least S servers and my servers have at most
+// P NIC ports — which ABCCC should I deploy, and how does it compare to the
+// alternatives?"
+//
+//   ./capacity_planner [--servers=500] [--ports=3] [--budget-per-server=400]
+//
+// Enumerates ABCCC(n,k,c) configurations that meet the requirements, prices
+// them, and prints the Pareto-interesting ones next to the baselines.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "graph/bfs.h"
+#include "topology/abccc.h"
+#include "topology/bcube.h"
+#include "topology/cost_model.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+
+namespace {
+
+int Eccentricity(const dcn::topo::Topology& net) {
+  const std::vector<int> dist =
+      dcn::graph::BfsDistances(net.Network(), net.Servers()[0]);
+  int ecc = 0;
+  for (const dcn::graph::NodeId server : net.Servers()) {
+    ecc = std::max(ecc, dist[server]);
+  }
+  return ecc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const CliArgs args{argc, argv};
+  const auto min_servers = static_cast<std::uint64_t>(args.GetInt("servers", 500));
+  const int max_ports = static_cast<int>(args.GetInt("ports", 3));
+  const double budget = args.GetDouble("budget-per-server", 400.0);
+  const topo::CostModel model;
+
+  std::cout << "Requirement: >= " << min_servers << " servers, <= " << max_ports
+            << " NIC ports, network budget $" << budget << "/server\n";
+
+  struct Candidate {
+    std::string description;
+    std::uint64_t servers;
+    int ports;
+    int diameter;
+    double cost_per_server;
+    bool within_budget;
+  };
+  std::vector<Candidate> candidates;
+  auto consider = [&](const topo::Topology& net) {
+    if (net.ServerCount() < min_servers) return;
+    if (net.ServerPorts() > max_ports) return;
+    const topo::CapexReport cost = topo::EvaluateCost(net, model);
+    candidates.push_back({net.Describe(), net.ServerCount(), net.ServerPorts(),
+                          Eccentricity(net), cost.network_per_server_usd,
+                          cost.network_per_server_usd <= budget});
+  };
+
+  // ABCCC sweep: smallest order that reaches the size for each (n, c).
+  for (int n = 4; n <= 8; n += 2) {
+    for (int c = 2; c <= max_ports; ++c) {
+      for (int k = 1; k <= 4; ++k) {
+        const topo::AbcccParams params{n, k, c};
+        if (params.ServerTotal() > 100000) break;
+        const topo::Abccc net{params};
+        if (net.ServerCount() >= min_servers) {
+          consider(net);
+          break;  // larger k only costs more
+        }
+      }
+    }
+  }
+  // Baselines at the smallest size meeting the requirement.
+  for (int k = 1; k <= 4; ++k) {
+    const topo::Bcube net{topo::BcubeParams{4, k}};
+    if (net.ServerCount() >= min_servers) {
+      consider(net);
+      break;
+    }
+  }
+  for (int k = 1; k <= 2; ++k) {
+    const topo::Dcell net{topo::DcellParams{4, k}};
+    if (net.ServerCount() >= min_servers) {
+      consider(net);
+      break;
+    }
+  }
+  for (int f = 4; f <= 24; f += 2) {
+    const topo::FatTree net{topo::FatTreeParams{f}};
+    if (net.ServerCount() >= min_servers) {
+      consider(net);
+      break;
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.cost_per_server < b.cost_per_server;
+            });
+
+  Table table{{"option", "servers", "ports", "diameter", "net-$/srv", "fits"}};
+  for (const Candidate& c : candidates) {
+    table.AddRow({c.description, Table::Cell(c.servers), Table::Cell(c.ports),
+                  Table::Cell(c.diameter), Table::Cell(c.cost_per_server, 1),
+                  c.within_budget ? "yes" : "over budget"});
+  }
+  table.Print(std::cout, "Deployment options (cheapest first)");
+
+  if (!candidates.empty()) {
+    const auto best = std::find_if(candidates.begin(), candidates.end(),
+                                   [](const Candidate& c) { return c.within_budget; });
+    if (best != candidates.end()) {
+      std::cout << "\nRecommendation: " << best->description << " — "
+                << best->servers << " servers at $" << best->cost_per_server
+                << "/server, diameter " << best->diameter << ".\n";
+    } else {
+      std::cout << "\nNo option fits the budget; the cheapest is "
+                << candidates.front().description << " at $"
+                << candidates.front().cost_per_server << "/server.\n";
+    }
+  } else {
+    std::cout << "\nNo configuration meets the requirements; raise --ports or "
+                 "lower --servers.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Expansion demo: grow an ABCCC deployment order by order and contrast the
+// shopping list with BCube's forklift upgrade — the paper's core pitch.
+//
+//   ./expansion_demo [--n=4] [--c=2] [--from=1] [--to=3]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "topology/expansion.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const CliArgs args{argc, argv};
+  const int n = static_cast<int>(args.GetInt("n", 4));
+  const int c = static_cast<int>(args.GetInt("c", 2));
+  const int k_from = static_cast<int>(args.GetInt("from", 1));
+  const int k_to = static_cast<int>(args.GetInt("to", 3));
+
+  Table table{{"step", "new-servers", "new-switches", "new-links",
+               "servers-opened", "switches-replaced", "links-recabled"}};
+  auto add = [&](const topo::ExpansionStep& step) {
+    table.AddRow({step.from + " -> " + step.to, Table::Cell(step.ServersAdded()),
+                  Table::Cell(step.SwitchesAdded()), Table::Cell(step.LinksAdded()),
+                  Table::Cell(step.existing_servers_modified),
+                  Table::Cell(step.existing_switches_replaced),
+                  Table::Cell(step.existing_links_recabled)});
+  };
+  for (int k = k_from; k < k_to; ++k) {
+    add(topo::PlanAbcccExpansion(topo::AbcccParams{n, k, c}));
+  }
+  for (int k = k_from; k < k_to; ++k) {
+    add(topo::PlanBcubeExpansion(topo::BcubeParams{n, k}));
+  }
+  table.Print(std::cout, "Expansion shopping lists: ABCCC vs BCube");
+
+  // Prove the claim on the real graphs, not just the plan arithmetic.
+  std::cout << "\nStructural verification (old network embeds untouched):\n";
+  for (int k = k_from; k < k_to; ++k) {
+    const topo::Abccc before{topo::AbcccParams{n, k, c}};
+    const topo::Abccc after{topo::AbcccParams{n, k + 1, c}};
+    std::cout << "  " << before.Describe() << " -> " << after.Describe() << ": "
+              << (topo::VerifyAbcccExpansion(before, after)
+                      ? "every existing link preserved"
+                      : "EMBEDDING FAILED")
+              << "\n";
+  }
+  std::cout << "\nABCCC's columns for disturbing existing hardware are all "
+               "zero; BCube opens every deployed server at every step.\n";
+  return 0;
+}

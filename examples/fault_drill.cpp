@@ -1,0 +1,85 @@
+// Fault drill: watch the fault-tolerant router repair paths as failures
+// accumulate in a live ABCCC deployment.
+//
+//   ./fault_drill [--n=4] [--k=2] [--c=2] [--steps=6] [--kill-per-step=0.03]
+//
+// Each step kills another slice of servers/switches, then re-routes a fixed
+// witness pair and a random sample, reporting what the repair tactics did.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "graph/bfs.h"
+#include "routing/fault_routing.h"
+#include "topology/abccc.h"
+
+int main(int argc, char** argv) {
+  using namespace dcn;
+  const CliArgs args{argc, argv};
+  const topo::AbcccParams params{
+      static_cast<int>(args.GetInt("n", 4)),
+      static_cast<int>(args.GetInt("k", 2)),
+      static_cast<int>(args.GetInt("c", 2)),
+  };
+  const int steps = static_cast<int>(args.GetInt("steps", 6));
+  const double kill_fraction = args.GetDouble("kill-per-step", 0.03);
+
+  const topo::Abccc net{params};
+  std::cout << "Drill on " << net.Describe() << " with " << net.ServerCount()
+            << " servers; killing ~" << kill_fraction * 100
+            << "% of nodes per step.\n";
+
+  graph::FailureSet failures{net.Network()};
+  Rng rng{2026};
+  const auto servers = net.Servers();
+  const graph::NodeId witness_src = servers.front();
+  const graph::NodeId witness_dst = servers.back();
+
+  Table table{{"step", "dead-nodes", "witness-links", "witness-detours",
+               "sample-success", "sample-mean-links", "fallbacks"}};
+  for (int step = 0; step <= steps; ++step) {
+    if (step > 0) {
+      // Kill a fresh random slice (servers and switches alike), but never
+      // the witness endpoints — the drill tracks a surviving service.
+      for (graph::NodeId node = 0;
+           static_cast<std::size_t>(node) < net.Network().NodeCount(); ++node) {
+        if (node == witness_src || node == witness_dst) continue;
+        if (rng.NextBernoulli(kill_fraction)) failures.KillNode(node);
+      }
+    }
+
+    routing::FaultRoutingStats witness_stats;
+    const routing::Route witness = routing::AbcccFaultTolerantRoute(
+        net, witness_src, witness_dst, failures, rng, {}, &witness_stats);
+
+    int success = 0, fallbacks = 0;
+    OnlineStats links;
+    const int trials = 100;
+    for (int t = 0; t < trials; ++t) {
+      const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+      graph::NodeId dst = src;
+      while (dst == src) dst = servers[rng.NextUint64(servers.size())];
+      routing::FaultRoutingStats stats;
+      const routing::Route route =
+          routing::AbcccFaultTolerantRoute(net, src, dst, failures, rng, {}, &stats);
+      if (route.Empty()) continue;
+      ++success;
+      links.Add(static_cast<double>(route.LinkCount()));
+      if (stats.used_fallback) ++fallbacks;
+    }
+
+    table.AddRow({Table::Cell(step), Table::Cell(failures.DeadNodeCount()),
+                  witness.Empty() ? std::string{"UNREACHABLE"} : Table::Cell(witness.LinkCount()),
+                  Table::Cell(witness_stats.plane_detours),
+                  Table::Percent(static_cast<double>(success) / trials, 1),
+                  success > 0 ? Table::Cell(links.Mean(), 2) : std::string{"-"},
+                  Table::Cell(static_cast<std::int64_t>(fallbacks))});
+  }
+  table.Print(std::cout, "Fault drill");
+  std::cout << "\nThe witness pair stays reachable (its links creep up as "
+               "detours kick in) until failures actually partition the "
+               "network; sample success tracks the connectivity ceiling.\n";
+  return 0;
+}

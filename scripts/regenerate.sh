@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate the full evaluation: build, test, run every experiment binary.
+# Results land in results/ (one file per experiment) plus the two aggregate
+# logs the repo documents (test_output.txt, bench_output.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "== $name ==" | tee -a bench_output.txt
+  "$b" | tee "results/$name.txt" | tee -a bench_output.txt
+done
+
+echo
+echo "Done: test_output.txt, bench_output.txt, results/*.txt"

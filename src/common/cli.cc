@@ -1,0 +1,60 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace dcn {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    DCN_REQUIRE(token.rfind("--", 0) == 0,
+                "CLI arguments must look like --key=value, got: " + token);
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool CliArgs::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string CliArgs::GetString(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::GetInt(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument{"--" + key + " expects an integer, got: " + it->second};
+  }
+}
+
+double CliArgs::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument{"--" + key + " expects a number, got: " + it->second};
+  }
+}
+
+bool CliArgs::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw InvalidArgument{"--" + key + " expects true/false, got: " + it->second};
+}
+
+}  // namespace dcn

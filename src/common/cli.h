@@ -1,0 +1,27 @@
+// Minimal --key=value command-line parsing for the bench binaries and
+// examples. Keeps experiment parameters overridable without a dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dcn {
+
+class CliArgs {
+ public:
+  // Accepts "--key=value" and bare "--flag" tokens; anything else throws
+  // InvalidArgument so typos in an experiment invocation are loud.
+  CliArgs(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dcn

@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace dcn::detail {
+
+void AssertFail(const char* expr, std::source_location loc) {
+  std::cerr << "DCN_ASSERT failed: " << expr << "\n  at " << loc.file_name() << ":"
+            << loc.line() << " in " << loc.function_name() << std::endl;
+  std::abort();
+}
+
+}  // namespace dcn::detail

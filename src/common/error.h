@@ -1,0 +1,57 @@
+// Error handling primitives shared by every dcn library.
+//
+// Conventions (C++ Core Guidelines I.5/I.6, E.*):
+//  * Constructor / API *preconditions* on user-supplied parameters throw
+//    dcn::InvalidArgument so misconfiguration is reported, not UB.
+//  * Internal invariants use DCN_ASSERT, which is active in all build types --
+//    these networks are small enough that the check cost is irrelevant next to
+//    the cost of silently producing a wrong topology.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dcn {
+
+// Thrown when a caller violates a documented API precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+// Thrown when a requested object (address, node, route) does not exist.
+class NotFound : public std::out_of_range {
+ public:
+  explicit NotFound(const std::string& what) : std::out_of_range(what) {}
+};
+
+// Thrown when an operation is impossible in the current state (e.g. routing in
+// a partitioned network).
+class FailedPrecondition : public std::logic_error {
+ public:
+  explicit FailedPrecondition(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void AssertFail(const char* expr, std::source_location loc);
+}  // namespace detail
+
+}  // namespace dcn
+
+// Always-on invariant check. Unlike <cassert> this is not compiled out in
+// release builds; topology construction bugs must never pass silently.
+#define DCN_ASSERT(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dcn::detail::AssertFail(#expr, std::source_location::current()); \
+    }                                                                   \
+  } while (false)
+
+// Precondition check that reports parameter problems to the caller.
+#define DCN_REQUIRE(expr, message)                  \
+  do {                                              \
+    if (!(expr)) {                                  \
+      throw ::dcn::InvalidArgument{(message)};      \
+    }                                               \
+  } while (false)

@@ -1,0 +1,68 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dcn {
+
+std::uint64_t Rng::NextUint64(std::uint64_t bound) {
+  DCN_REQUIRE(bound > 0, "Rng::NextUint64 bound must be positive");
+  // Rejection sampling to avoid modulo bias; the loop almost never iterates.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t value = (*this)();
+  while (value >= limit) value = (*this)();
+  return value % bound;
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  DCN_REQUIRE(lo <= hi, "Rng::NextInt requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExponential(double rate) {
+  DCN_REQUIRE(rate > 0, "Rng::NextExponential rate must be positive");
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork() { return Rng{(*this)() ^ 0x5851f42d4c957f2dull}; }
+
+std::vector<std::size_t> RandomPermutation(std::size_t size, Rng& rng) {
+  std::vector<std::size_t> perm(size);
+  for (std::size_t i = 0; i < size; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  return perm;
+}
+
+std::vector<std::size_t> RandomDerangement(std::size_t size, Rng& rng) {
+  DCN_REQUIRE(size >= 2, "derangement requires size >= 2");
+  // Rejection from random permutations: expected ~e attempts, independent of n.
+  for (;;) {
+    std::vector<std::size_t> perm = RandomPermutation(size, rng);
+    bool ok = true;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (perm[i] == i) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return perm;
+  }
+}
+
+}  // namespace dcn

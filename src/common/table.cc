@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dcn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DCN_REQUIRE(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  DCN_REQUIRE(cells.size() == headers_.size(),
+              "Table row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title.empty()) out << "== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " " << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out.flush();
+}
+
+std::string Table::Cell(std::int64_t value) { return std::to_string(value); }
+std::string Table::Cell(std::uint64_t value) { return std::to_string(value); }
+std::string Table::Cell(int value) { return std::to_string(value); }
+
+std::string Table::Cell(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::Percent(double fraction, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return out.str();
+}
+
+}  // namespace dcn

@@ -1,0 +1,36 @@
+// Console table renderer used by the bench binaries and examples so every
+// experiment prints its rows in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row. Cell helpers format numbers consistently.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t RowCount() const { return rows_.size(); }
+
+  // Renders with aligned columns, a header separator, and an optional title.
+  void Print(std::ostream& out, const std::string& title = "") const;
+
+  // Cell formatting helpers.
+  static std::string Cell(std::int64_t value);
+  static std::string Cell(std::uint64_t value);
+  static std::string Cell(int value);
+  static std::string Cell(double value, int precision = 3);
+  static std::string Percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcn

@@ -1,0 +1,87 @@
+#include "graph/bfs.h"
+
+#include <deque>
+
+#include "common/error.h"
+
+namespace dcn::graph {
+
+std::vector<int> BfsDistances(const Graph& graph, NodeId src,
+                              const FailureSet* failures) {
+  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < graph.NodeCount(),
+              "BFS source out of range");
+  std::vector<int> dist(graph.NodeCount(), kUnreachable);
+  if (failures != nullptr && failures->NodeDead(src)) return dist;
+  std::deque<NodeId> queue;
+  dist[src] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    for (const HalfEdge& half : graph.Neighbors(node)) {
+      if (failures != nullptr && !failures->HalfEdgeUsable(half)) continue;
+      if (dist[half.to] != kUnreachable) continue;
+      dist[half.to] = dist[node] + 1;
+      queue.push_back(half.to);
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> ShortestPath(const Graph& graph, NodeId src, NodeId dst,
+                                 const FailureSet* failures) {
+  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < graph.NodeCount(),
+              "BFS source out of range");
+  DCN_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < graph.NodeCount(),
+              "BFS destination out of range");
+  if (failures != nullptr && (failures->NodeDead(src) || failures->NodeDead(dst))) {
+    return {};
+  }
+  if (src == dst) return {src};
+
+  std::vector<NodeId> parent(graph.NodeCount(), kInvalidNode);
+  std::vector<bool> seen(graph.NodeCount(), false);
+  std::deque<NodeId> queue;
+  seen[src] = true;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    for (const HalfEdge& half : graph.Neighbors(node)) {
+      if (failures != nullptr && !failures->HalfEdgeUsable(half)) continue;
+      if (seen[half.to]) continue;
+      seen[half.to] = true;
+      parent[half.to] = node;
+      if (half.to == dst) {
+        std::vector<NodeId> path;
+        for (NodeId at = dst; at != kInvalidNode; at = parent[at]) path.push_back(at);
+        return {path.rbegin(), path.rend()};
+      }
+      queue.push_back(half.to);
+    }
+  }
+  return {};
+}
+
+std::size_t ReachableCount(const Graph& graph, NodeId src,
+                           const FailureSet* failures) {
+  const std::vector<int> dist = BfsDistances(graph, src, failures);
+  std::size_t count = 0;
+  for (int d : dist) count += d != kUnreachable ? 1 : 0;
+  return count;
+}
+
+bool IsConnected(const Graph& graph, const FailureSet* failures) {
+  if (graph.NodeCount() == 0) return true;
+  NodeId start = kInvalidNode;
+  std::size_t live = 0;
+  for (NodeId node = 0; static_cast<std::size_t>(node) < graph.NodeCount(); ++node) {
+    if (failures != nullptr && failures->NodeDead(node)) continue;
+    ++live;
+    if (start == kInvalidNode) start = node;
+  }
+  if (live == 0) return true;
+  return ReachableCount(graph, start, failures) == live;
+}
+
+}  // namespace dcn::graph

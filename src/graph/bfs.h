@@ -1,0 +1,32 @@
+// Breadth-first search utilities. Distances are measured in *links* (a
+// server->switch->server relay counts as 2), the convention used by the
+// server-centric DCN literature for diameter and path-length comparisons.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcn::graph {
+
+inline constexpr int kUnreachable = -1;
+
+// Distance (in links) from src to every node; kUnreachable where no live path
+// exists. If `failures` is non-null, dead nodes/links are not traversed and a
+// dead src yields all-unreachable.
+std::vector<int> BfsDistances(const Graph& graph, NodeId src,
+                              const FailureSet* failures = nullptr);
+
+// A shortest path src..dst inclusive (node sequence), or empty if unreachable.
+std::vector<NodeId> ShortestPath(const Graph& graph, NodeId src, NodeId dst,
+                                 const FailureSet* failures = nullptr);
+
+// Number of nodes reachable from src (including src itself).
+std::size_t ReachableCount(const Graph& graph, NodeId src,
+                           const FailureSet* failures = nullptr);
+
+// True if every live node is reachable from every other live node. With no
+// failures this is plain graph connectivity.
+bool IsConnected(const Graph& graph, const FailureSet* failures = nullptr);
+
+}  // namespace dcn::graph

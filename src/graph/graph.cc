@@ -1,0 +1,108 @@
+#include "graph/graph.h"
+
+#include "common/error.h"
+
+namespace dcn::graph {
+
+NodeId Graph::AddNode(NodeKind kind) {
+  const auto id = static_cast<NodeId>(kinds_.size());
+  kinds_.push_back(kind);
+  adjacency_.emplace_back();
+  if (kind == NodeKind::kServer) servers_.push_back(id);
+  return id;
+}
+
+EdgeId Graph::AddEdge(NodeId u, NodeId v) {
+  CheckNode(u);
+  CheckNode(v);
+  DCN_REQUIRE(u != v, "self-loop links are not allowed");
+  const auto id = static_cast<EdgeId>(endpoints_.size());
+  endpoints_.emplace_back(u, v);
+  adjacency_[u].push_back(HalfEdge{v, id});
+  adjacency_[v].push_back(HalfEdge{u, id});
+  return id;
+}
+
+NodeKind Graph::KindOf(NodeId node) const {
+  CheckNode(node);
+  return kinds_[node];
+}
+
+std::span<const HalfEdge> Graph::Neighbors(NodeId node) const {
+  CheckNode(node);
+  return adjacency_[node];
+}
+
+std::pair<NodeId, NodeId> Graph::Endpoints(EdgeId edge) const {
+  DCN_REQUIRE(edge >= 0 && static_cast<std::size_t>(edge) < endpoints_.size(),
+              "edge id out of range");
+  return endpoints_[edge];
+}
+
+NodeId Graph::OtherEnd(EdgeId edge, NodeId node) const {
+  const auto [u, v] = Endpoints(edge);
+  DCN_REQUIRE(node == u || node == v, "node is not an endpoint of edge");
+  return node == u ? v : u;
+}
+
+bool Graph::Adjacent(NodeId u, NodeId v) const {
+  return FindEdge(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  CheckNode(u);
+  CheckNode(v);
+  const NodeId from = Degree(u) <= Degree(v) ? u : v;
+  const NodeId to = from == u ? v : u;
+  for (const HalfEdge& half : adjacency_[from]) {
+    if (half.to == to) return half.edge;
+  }
+  return kInvalidEdge;
+}
+
+void Graph::CheckNode(NodeId node) const {
+  DCN_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < kinds_.size(),
+              "node id out of range");
+}
+
+void FailureSet::KillNode(NodeId node) {
+  DCN_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < node_dead_.size(),
+              "FailureSet::KillNode id out of range");
+  node_dead_[node] = true;
+}
+
+void FailureSet::KillEdge(EdgeId edge) {
+  DCN_REQUIRE(edge >= 0 && static_cast<std::size_t>(edge) < edge_dead_.size(),
+              "FailureSet::KillEdge id out of range");
+  edge_dead_[edge] = true;
+}
+
+void FailureSet::ReviveNode(NodeId node) {
+  DCN_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < node_dead_.size(),
+              "FailureSet::ReviveNode id out of range");
+  node_dead_[node] = false;
+}
+
+void FailureSet::ReviveEdge(EdgeId edge) {
+  DCN_REQUIRE(edge >= 0 && static_cast<std::size_t>(edge) < edge_dead_.size(),
+              "FailureSet::ReviveEdge id out of range");
+  edge_dead_[edge] = false;
+}
+
+std::size_t FailureSet::DeadNodeCount() const {
+  std::size_t count = 0;
+  for (bool dead : node_dead_) count += dead ? 1 : 0;
+  return count;
+}
+
+std::size_t FailureSet::DeadEdgeCount() const {
+  std::size_t count = 0;
+  for (bool dead : edge_dead_) count += dead ? 1 : 0;
+  return count;
+}
+
+std::string ToString(NodeKind kind) {
+  return kind == NodeKind::kServer ? "server" : "switch";
+}
+
+}  // namespace dcn::graph

@@ -1,0 +1,52 @@
+// Dinic's max-flow over the undirected network graph, used for empirical
+// bisection bandwidth and for counting edge-disjoint paths. Each undirected
+// link of capacity c is modeled as a pair of opposite arcs of capacity c,
+// which is the standard reduction for undirected flow.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcn::graph {
+
+class MaxFlowSolver {
+ public:
+  // Builds the flow network. `edge_capacity` is applied uniformly to every
+  // link (bisection in "number of unit links"). Dead nodes/links from
+  // `failures` are excluded entirely.
+  MaxFlowSolver(const Graph& graph, std::int64_t edge_capacity = 1,
+                const FailureSet* failures = nullptr);
+
+  // Max flow from the set `sources` to the set `sinks` (disjoint, non-empty).
+  // Source/sink attachment arcs are effectively infinite, so the answer is
+  // the min link cut. Resets internal flow state on every call.
+  std::int64_t Solve(std::span<const NodeId> sources, std::span<const NodeId> sinks);
+
+ private:
+  struct Arc {
+    std::int32_t to;
+    std::int32_t rev;  // index of the reverse arc in arcs_[to]
+    std::int64_t cap;
+  };
+
+  void AddArc(std::int32_t from, std::int32_t to, std::int64_t cap);
+  bool BuildLevels(std::int32_t s, std::int32_t t);
+  std::int64_t Augment(std::int32_t node, std::int32_t t, std::int64_t limit);
+
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::size_t base_node_count_;  // nodes of the original graph
+};
+
+// Convenience: min cut (in links, each counting `edge_capacity`) separating
+// the two server sets.
+std::int64_t MinCutBetween(const Graph& graph, std::span<const NodeId> side_a,
+                           std::span<const NodeId> side_b,
+                           std::int64_t edge_capacity = 1,
+                           const FailureSet* failures = nullptr);
+
+}  // namespace dcn::graph

@@ -1,0 +1,168 @@
+#include "graph/paths.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace dcn::graph {
+
+namespace {
+
+// Minimal unit-capacity Dinic keeping per-arc flow so paths can be
+// reconstructed afterwards. Arcs are indexed per node; reverse arc twins are
+// stored explicitly.
+class UnitFlow {
+ public:
+  UnitFlow(const Graph& graph, const FailureSet* failures)
+      : arcs_(graph.NodeCount()) {
+    for (EdgeId edge = 0; static_cast<std::size_t>(edge) < graph.EdgeCount();
+         ++edge) {
+      if (failures != nullptr && failures->EdgeDead(edge)) continue;
+      const auto [u, v] = graph.Endpoints(edge);
+      if (failures != nullptr &&
+          (failures->NodeDead(u) || failures->NodeDead(v))) {
+        continue;
+      }
+      AddArc(u, v);
+      AddArc(v, u);
+    }
+  }
+
+  std::size_t Run(NodeId src, NodeId dst, std::size_t max_paths) {
+    std::size_t flow = 0;
+    while (flow < max_paths && BuildLevels(src, dst)) {
+      iter_.assign(arcs_.size(), 0);
+      while (flow < max_paths && Augment(src, dst)) ++flow;
+    }
+    return flow;
+  }
+
+  // Decomposes the current flow into paths by walking saturated arcs from
+  // src, consuming each as it is used.
+  std::vector<std::vector<NodeId>> ExtractPaths(NodeId src, NodeId dst,
+                                                std::size_t count) {
+    std::vector<std::vector<NodeId>> paths;
+    paths.reserve(count);
+    for (std::size_t p = 0; p < count; ++p) {
+      std::vector<NodeId> path{src};
+      NodeId node = src;
+      while (node != dst) {
+        bool advanced = false;
+        for (Arc& arc : arcs_[node]) {
+          if (arc.flow > 0) {
+            arc.flow = 0;
+            node = arc.to;
+            path.push_back(node);
+            advanced = true;
+            break;
+          }
+        }
+        // Flow conservation guarantees an outgoing saturated arc until dst.
+        DCN_ASSERT(advanced);
+        // A unit-flow path visits each node at most deg(node) times; guard
+        // against pathological cycles in the decomposition.
+        DCN_ASSERT(path.size() <= 4 * arcs_.size() + 2);
+      }
+      paths.push_back(std::move(path));
+    }
+    return paths;
+  }
+
+ private:
+  struct Arc {
+    NodeId to;
+    std::int32_t rev;
+    std::int8_t cap;   // residual capacity, 0 or 1
+    std::int8_t flow;  // net flow pushed on this arc (for extraction)
+  };
+
+  void AddArc(NodeId from, NodeId to) {
+    arcs_[from].push_back(
+        Arc{to, static_cast<std::int32_t>(arcs_[to].size()), 1, 0});
+    arcs_[to].push_back(
+        Arc{from, static_cast<std::int32_t>(arcs_[from].size()) - 1, 0, 0});
+  }
+
+  bool BuildLevels(NodeId src, NodeId dst) {
+    level_.assign(arcs_.size(), -1);
+    std::deque<NodeId> queue;
+    level_[src] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+      const NodeId node = queue.front();
+      queue.pop_front();
+      for (const Arc& arc : arcs_[node]) {
+        if (arc.cap > 0 && level_[arc.to] < 0) {
+          level_[arc.to] = level_[node] + 1;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+    return level_[dst] >= 0;
+  }
+
+  bool Augment(NodeId node, NodeId dst) {
+    if (node == dst) return true;
+    for (std::size_t& i = iter_[node]; i < arcs_[node].size(); ++i) {
+      Arc& arc = arcs_[node][i];
+      if (arc.cap <= 0 || level_[arc.to] != level_[node] + 1) continue;
+      if (Augment(arc.to, dst)) {
+        arc.cap -= 1;
+        arc.flow += 1;
+        Arc& twin = arcs_[arc.to][arc.rev];
+        twin.cap += 1;
+        // Pushing along a residual (reverse) arc cancels prior flow instead
+        // of creating antiparallel flow.
+        if (twin.flow > 0) {
+          twin.flow -= 1;
+          arc.flow -= 1;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+void CheckEndpoints(const Graph& graph, NodeId src, NodeId dst) {
+  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < graph.NodeCount(),
+              "src out of range");
+  DCN_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < graph.NodeCount(),
+              "dst out of range");
+  DCN_REQUIRE(src != dst, "src and dst must differ");
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> EdgeDisjointPaths(const Graph& graph, NodeId src,
+                                                   NodeId dst,
+                                                   std::size_t max_paths,
+                                                   const FailureSet* failures) {
+  CheckEndpoints(graph, src, dst);
+  if (failures != nullptr &&
+      (failures->NodeDead(src) || failures->NodeDead(dst))) {
+    return {};
+  }
+  UnitFlow flow{graph, failures};
+  const std::size_t count = flow.Run(src, dst, max_paths);
+  return flow.ExtractPaths(src, dst, count);
+}
+
+std::size_t EdgeConnectivity(const Graph& graph, NodeId src, NodeId dst,
+                             const FailureSet* failures) {
+  CheckEndpoints(graph, src, dst);
+  if (failures != nullptr &&
+      (failures->NodeDead(src) || failures->NodeDead(dst))) {
+    return 0;
+  }
+  UnitFlow flow{graph, failures};
+  return flow.Run(src, dst, std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace dcn::graph

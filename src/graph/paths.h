@@ -1,0 +1,28 @@
+// Edge-disjoint path extraction between two servers.
+//
+// The BCCC/ABCCC papers advertise "multiple near-equal parallel paths"; this
+// module measures that claim: it computes a maximum set of pairwise
+// link-disjoint paths (max-flow with unit link capacities) and returns the
+// concrete paths so their lengths can be compared.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcn::graph {
+
+// A maximum-cardinality set of pairwise link-disjoint src->dst paths (each a
+// node sequence src..dst). Stops early once `max_paths` are found. Paths come
+// out shortest-first-ish (Dinic augments along level graphs) but no strict
+// order is guaranteed. Empty result iff dst is unreachable.
+std::vector<std::vector<NodeId>> EdgeDisjointPaths(
+    const Graph& graph, NodeId src, NodeId dst,
+    std::size_t max_paths = static_cast<std::size_t>(-1),
+    const FailureSet* failures = nullptr);
+
+// Cardinality only (cheaper than materializing paths).
+std::size_t EdgeConnectivity(const Graph& graph, NodeId src, NodeId dst,
+                             const FailureSet* failures = nullptr);
+
+}  // namespace dcn::graph

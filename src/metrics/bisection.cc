@@ -1,0 +1,14 @@
+#include "metrics/bisection.h"
+
+#include "graph/maxflow.h"
+
+namespace dcn::metrics {
+
+std::int64_t MeasureBisection(const topo::Topology& net,
+                              const graph::FailureSet* failures) {
+  const auto [side_a, side_b] = net.BisectionHalves();
+  return graph::MinCutBetween(net.Network(), side_a, side_b, /*edge_capacity=*/1,
+                              failures);
+}
+
+}  // namespace dcn::metrics

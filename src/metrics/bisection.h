@@ -1,0 +1,18 @@
+// Bisection bandwidth measurement.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "topology/topology.h"
+
+namespace dcn::metrics {
+
+// Max-flow (= min link cut) between the topology's canonical bisection
+// halves, in unit links. For the cube topologies the canonical halves split
+// on the most significant digit, the cut the literature quotes; the analytic
+// value is Topology::TheoreticalBisection().
+std::int64_t MeasureBisection(const topo::Topology& net,
+                              const graph::FailureSet* failures = nullptr);
+
+}  // namespace dcn::metrics

@@ -1,0 +1,101 @@
+#include "metrics/capex.h"
+
+#include "common/error.h"
+#include "topology/abccc.h"
+#include "topology/bcube.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+
+namespace dcn::metrics {
+
+namespace {
+
+// Shared trajectory driver. `build_cost` prices configuration k;
+// `plan` describes the k -> next step; `discarded` prices hardware thrown
+// away during the step (fat-tree switch swaps).
+template <typename CostFn, typename PlanFn, typename DiscardFn>
+std::vector<GrowthPoint> Trajectory(int k_from, int k_to, int k_step, CostFn cost,
+                                    PlanFn plan, DiscardFn discarded) {
+  DCN_REQUIRE(k_from <= k_to, "growth requires k_from <= k_to");
+  std::vector<GrowthPoint> points;
+  topo::CapexReport prev = cost(k_from);
+  GrowthPoint first;
+  const topo::ExpansionStep seed = plan(k_from);
+  first.description = seed.from;
+  first.servers = prev.servers;
+  first.step_usd = prev.total_usd;
+  first.cumulative_usd = prev.total_usd;
+  points.push_back(first);
+
+  for (int k = k_from; k < k_to; k += k_step) {
+    const topo::ExpansionStep step = plan(k);
+    const topo::CapexReport next = cost(k + k_step);
+    GrowthPoint point;
+    point.description = step.to;
+    point.servers = next.servers;
+    point.step_usd = (next.total_usd - prev.total_usd) + discarded(prev, step);
+    point.cumulative_usd = points.back().cumulative_usd + point.step_usd;
+    point.step_disruption = step.DisruptionTotal();
+    point.cumulative_disruption =
+        points.back().cumulative_disruption + point.step_disruption;
+    points.push_back(point);
+    prev = next;
+  }
+  return points;
+}
+
+double NoDiscard(const topo::CapexReport&, const topo::ExpansionStep&) {
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<GrowthPoint> AbcccGrowthTrajectory(int n, int c, int k_from, int k_to,
+                                               const topo::CostModel& model) {
+  return Trajectory(
+      k_from, k_to, 1,
+      [&](int k) {
+        return topo::EvaluateCost(topo::Abccc{topo::AbcccParams{n, k, c}}, model);
+      },
+      [&](int k) { return topo::PlanAbcccExpansion(topo::AbcccParams{n, k, c}); },
+      NoDiscard);
+}
+
+std::vector<GrowthPoint> BcubeGrowthTrajectory(int n, int k_from, int k_to,
+                                               const topo::CostModel& model) {
+  return Trajectory(
+      k_from, k_to, 1,
+      [&](int k) {
+        return topo::EvaluateCost(topo::Bcube{topo::BcubeParams{n, k}}, model);
+      },
+      [&](int k) { return topo::PlanBcubeExpansion(topo::BcubeParams{n, k}); },
+      NoDiscard);
+}
+
+std::vector<GrowthPoint> DcellGrowthTrajectory(int n, int k_from, int k_to,
+                                               const topo::CostModel& model) {
+  return Trajectory(
+      k_from, k_to, 1,
+      [&](int k) {
+        return topo::EvaluateCost(topo::Dcell{topo::DcellParams{n, k}}, model);
+      },
+      [&](int k) { return topo::PlanDcellExpansion(topo::DcellParams{n, k}); },
+      NoDiscard);
+}
+
+std::vector<GrowthPoint> FatTreeGrowthTrajectory(int k_from, int k_to,
+                                                 const topo::CostModel& model) {
+  return Trajectory(
+      k_from, k_to, 2,
+      [&](int k) {
+        return topo::EvaluateCost(topo::FatTree{topo::FatTreeParams{k}}, model);
+      },
+      [&](int k) { return topo::PlanFatTreeExpansion(topo::FatTreeParams{k}); },
+      // Every switch and cable of the old fabric is discarded, so the money
+      // already spent on them is spent again at the new radix.
+      [](const topo::CapexReport& before, const topo::ExpansionStep&) {
+        return before.switches_usd + before.cables_usd;
+      });
+}
+
+}  // namespace dcn::metrics

@@ -1,0 +1,35 @@
+// Growth-trajectory cost accounting (experiment F5): what does it cost —
+// in dollars *and* in disruption to the running system — to grow each design
+// step by step from a small deployment to a large one?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/cost_model.h"
+#include "topology/expansion.h"
+
+namespace dcn::metrics {
+
+struct GrowthPoint {
+  std::string description;       // configuration after this step
+  std::uint64_t servers = 0;     // deployment size after this step
+  double step_usd = 0.0;         // new hardware purchased in this step
+  double cumulative_usd = 0.0;   // total spent so far (incl. initial build)
+  std::uint64_t step_disruption = 0;  // existing components touched this step
+  std::uint64_t cumulative_disruption = 0;
+};
+
+// Builds ABCCC(n, k_from, c) and expands one order at a time to k_to.
+std::vector<GrowthPoint> AbcccGrowthTrajectory(int n, int c, int k_from, int k_to,
+                                               const topo::CostModel& model = {});
+std::vector<GrowthPoint> BcubeGrowthTrajectory(int n, int k_from, int k_to,
+                                               const topo::CostModel& model = {});
+std::vector<GrowthPoint> DcellGrowthTrajectory(int n, int k_from, int k_to,
+                                               const topo::CostModel& model = {});
+// Fat-tree grows by radix steps of 2; replaced hardware is re-purchased.
+std::vector<GrowthPoint> FatTreeGrowthTrajectory(int k_from, int k_to,
+                                                 const topo::CostModel& model = {});
+
+}  // namespace dcn::metrics

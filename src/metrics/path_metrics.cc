@@ -1,0 +1,68 @@
+#include "metrics/path_metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/bfs.h"
+
+namespace dcn::metrics {
+
+ExactPathStats ExactServerPathStats(const topo::Topology& net) {
+  const graph::Graph& g = net.Network();
+  ExactPathStats stats;
+  double total = 0.0;
+  for (const graph::NodeId src : g.Servers()) {
+    const std::vector<int> dist = graph::BfsDistances(g, src);
+    for (const graph::NodeId dst : g.Servers()) {
+      if (dst == src) continue;
+      if (dist[dst] == graph::kUnreachable) {
+        stats.connected = false;
+        continue;
+      }
+      stats.diameter = std::max(stats.diameter, dist[dst]);
+      total += dist[dst];
+      ++stats.pairs;
+    }
+  }
+  stats.average = stats.pairs > 0 ? total / static_cast<double>(stats.pairs) : 0.0;
+  return stats;
+}
+
+SampledPathStats SamplePathStats(const topo::Topology& net,
+                                 std::size_t source_samples,
+                                 std::size_t pairs_per_source, Rng& rng) {
+  DCN_REQUIRE(source_samples > 0 && pairs_per_source > 0,
+              "sample counts must be positive");
+  const graph::Graph& g = net.Network();
+  const auto servers = g.Servers();
+  DCN_REQUIRE(servers.size() >= 2, "need at least two servers to sample paths");
+
+  SampledPathStats stats;
+  double stretch_sum = 0.0;
+  std::uint64_t stretch_count = 0;
+  for (std::size_t s = 0; s < source_samples; ++s) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const std::vector<int> dist = graph::BfsDistances(g, src);
+    for (const graph::NodeId server : servers) {
+      if (server != src && dist[server] != graph::kUnreachable) {
+        stats.diameter_lower_bound =
+            std::max(stats.diameter_lower_bound, dist[server]);
+      }
+    }
+    for (std::size_t p = 0; p < pairs_per_source; ++p) {
+      graph::NodeId dst = src;
+      while (dst == src) dst = servers[rng.NextUint64(servers.size())];
+      DCN_ASSERT(dist[dst] != graph::kUnreachable);
+      const auto routed =
+          static_cast<std::int64_t>(net.Route(src, dst).size()) - 1;
+      stats.shortest.Add(dist[dst]);
+      stats.routed.Add(routed);
+      stretch_sum += static_cast<double>(routed) / static_cast<double>(dist[dst]);
+      ++stretch_count;
+    }
+  }
+  stats.mean_stretch = stretch_sum / static_cast<double>(stretch_count);
+  return stats;
+}
+
+}  // namespace dcn::metrics

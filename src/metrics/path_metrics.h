@@ -1,0 +1,44 @@
+// Diameter, average path length, and routing stretch.
+//
+// All distances are in links between *servers* (switch relays count toward
+// length but switches are never endpoints), matching the papers' metric.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "topology/topology.h"
+
+namespace dcn::metrics {
+
+struct ExactPathStats {
+  int diameter = 0;                 // max server-to-server distance
+  double average = 0.0;             // mean over all ordered server pairs
+  std::uint64_t pairs = 0;          // ordered pairs counted
+  bool connected = true;            // false if any pair was unreachable
+};
+
+// BFS from every server: exact diameter and average shortest server-to-server
+// path length. Cost O(S * (V + E)); intended for networks up to a few
+// thousand servers.
+ExactPathStats ExactServerPathStats(const topo::Topology& net);
+
+struct SampledPathStats {
+  IntHistogram shortest;  // BFS lengths of the sampled pairs
+  IntHistogram routed;    // native-routing lengths of the same pairs
+  // Mean of routed/shortest per pair (1.0 = routing is optimal).
+  double mean_stretch = 0.0;
+  // Max shortest distance seen from the sampled sources to ANY server — a
+  // lower bound on (and for vertex-transitive nets usually equal to) the
+  // diameter.
+  int diameter_lower_bound = 0;
+};
+
+// BFS from `source_samples` random servers; for each source, native routes to
+// `pairs_per_source` random distinct destinations. Deterministic given rng.
+SampledPathStats SamplePathStats(const topo::Topology& net,
+                                 std::size_t source_samples,
+                                 std::size_t pairs_per_source, Rng& rng);
+
+}  // namespace dcn::metrics

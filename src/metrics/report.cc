@@ -1,0 +1,55 @@
+#include "metrics/report.h"
+
+#include <ostream>
+
+#include "graph/bfs.h"
+#include "metrics/bisection.h"
+#include "metrics/path_metrics.h"
+
+namespace dcn::metrics {
+
+TopologyReport Summarize(const topo::Topology& net, Rng& rng,
+                         const ReportOptions& options) {
+  TopologyReport report;
+  report.description = net.Describe();
+  report.servers = net.ServerCount();
+  report.switches = net.SwitchCount();
+  report.links = net.LinkCount();
+  report.server_ports = net.ServerPorts();
+  report.connected = graph::IsConnected(net.Network());
+
+  const SampledPathStats paths = SamplePathStats(
+      net, options.source_samples, options.pairs_per_source, rng);
+  report.diameter = paths.diameter_lower_bound;
+  report.aspl = paths.shortest.Mean();
+  report.routing_stretch = paths.mean_stretch;
+
+  report.bisection = MeasureBisection(net);
+  report.bisection_theory = net.TheoreticalBisection();
+  report.capex = topo::EvaluateCost(net, options.cost_model);
+  return report;
+}
+
+void PrintReport(std::ostream& out, const TopologyReport& report) {
+  out << report.description << "\n"
+      << "  servers:      " << report.servers << " (" << report.server_ports
+      << " NIC ports each)\n"
+      << "  switches:     " << report.switches << "\n"
+      << "  links:        " << report.links << "\n"
+      << "  connected:    " << (report.connected ? "yes" : "NO") << "\n"
+      << "  diameter:     " << report.diameter << " links (sampled)\n"
+      << "  ASPL:         " << report.aspl << " links\n"
+      << "  stretch:      " << report.routing_stretch << "\n"
+      << "  bisection:    " << report.bisection;
+  if (report.bisection_theory > 0) {
+    out << " (theory " << report.bisection_theory << ")";
+  }
+  out << " links\n"
+      << "  network cost: $" << report.capex.network_per_server_usd
+      << "/server, "
+      << report.capex.network_watts / static_cast<double>(report.capex.servers)
+      << " W/server\n";
+  out.flush();
+}
+
+}  // namespace dcn::metrics

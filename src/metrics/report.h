@@ -1,0 +1,48 @@
+// One-stop topology summary: everything the comparison tables need, computed
+// with consistent sampling. Used by topo_inspect and the T2-style benches so
+// every consumer reports the same numbers for the same network.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/rng.h"
+#include "topology/cost_model.h"
+#include "topology/topology.h"
+
+namespace dcn::metrics {
+
+struct TopologyReport {
+  std::string description;
+  std::uint64_t servers = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t links = 0;
+  int server_ports = 0;
+
+  int diameter = 0;          // sampled lower bound (exact for small nets)
+  double aspl = 0.0;         // mean shortest server-to-server path, sampled
+  double routing_stretch = 0.0;
+
+  std::int64_t bisection = 0;
+  double bisection_theory = 0.0;  // 0 when no closed form
+
+  topo::CapexReport capex;
+
+  bool connected = true;
+};
+
+struct ReportOptions {
+  std::size_t source_samples = 8;
+  std::size_t pairs_per_source = 30;
+  topo::CostModel cost_model;
+};
+
+// Computes the full report. Deterministic given the rng.
+TopologyReport Summarize(const topo::Topology& net, Rng& rng,
+                         const ReportOptions& options = {});
+
+// Multi-line human-readable rendering.
+void PrintReport(std::ostream& out, const TopologyReport& report);
+
+}  // namespace dcn::metrics

@@ -1,0 +1,89 @@
+#include "metrics/resilience.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/bfs.h"
+
+namespace dcn::metrics {
+
+double PairDisconnectionFraction(const topo::Topology& net,
+                                 const graph::FailureSet& failures,
+                                 std::size_t sample_pairs, Rng& rng) {
+  DCN_REQUIRE(sample_pairs > 0, "need at least one sampled pair");
+  const graph::Graph& g = net.Network();
+  std::vector<graph::NodeId> alive;
+  for (const graph::NodeId server : g.Servers()) {
+    if (!failures.NodeDead(server)) alive.push_back(server);
+  }
+  if (alive.size() < 2) return 0.0;
+
+  std::size_t disconnected = 0;
+  std::size_t measured = 0;
+  // Group samples by source so one BFS serves many pairs.
+  const std::size_t sources =
+      std::min<std::size_t>(alive.size(), std::max<std::size_t>(1, sample_pairs / 16));
+  const std::size_t pairs_per_source = (sample_pairs + sources - 1) / sources;
+  for (std::size_t s = 0; s < sources; ++s) {
+    const graph::NodeId src = alive[rng.NextUint64(alive.size())];
+    const std::vector<int> dist = graph::BfsDistances(g, src, &failures);
+    for (std::size_t p = 0; p < pairs_per_source; ++p) {
+      graph::NodeId dst = src;
+      while (dst == src) dst = alive[rng.NextUint64(alive.size())];
+      ++measured;
+      if (dist[dst] == graph::kUnreachable) ++disconnected;
+    }
+  }
+  return static_cast<double>(disconnected) / static_cast<double>(measured);
+}
+
+double ServerLossFraction(const topo::Topology& net,
+                          const graph::FailureSet& failures) {
+  std::size_t dead = 0;
+  for (const graph::NodeId server : net.Servers()) {
+    dead += failures.NodeDead(server) ? 1 : 0;
+  }
+  return static_cast<double>(dead) / static_cast<double>(net.ServerCount());
+}
+
+graph::FailureSet KillRack(const topo::Topology& net, std::size_t rack,
+                           const topo::CablingOptions& options) {
+  const std::vector<std::size_t> assignment = topo::AssignRacks(net, options);
+  graph::FailureSet failures{net.Network()};
+  bool any = false;
+  for (graph::NodeId node = 0;
+       static_cast<std::size_t>(node) < assignment.size(); ++node) {
+    if (assignment[node] == rack) {
+      failures.KillNode(node);
+      any = true;
+    }
+  }
+  DCN_REQUIRE(any, "rack index holds no equipment");
+  return failures;
+}
+
+double WorstSingleSwitchDisconnection(const topo::Topology& net,
+                                      std::size_t sample_pairs,
+                                      std::size_t sample_switches, Rng& rng) {
+  const graph::Graph& g = net.Network();
+  std::vector<graph::NodeId> switches;
+  for (graph::NodeId node = 0; static_cast<std::size_t>(node) < g.NodeCount();
+       ++node) {
+    if (g.IsSwitch(node)) switches.push_back(node);
+  }
+  if (sample_switches > 0 && sample_switches < switches.size()) {
+    rng.Shuffle(switches);
+    switches.resize(sample_switches);
+  }
+  double worst = 0.0;
+  for (const graph::NodeId sw : switches) {
+    graph::FailureSet failures{g};
+    failures.KillNode(sw);
+    Rng pair_rng = rng.Fork();
+    worst = std::max(
+        worst, PairDisconnectionFraction(net, failures, sample_pairs, pair_rng));
+  }
+  return worst;
+}
+
+}  // namespace dcn::metrics

@@ -1,0 +1,34 @@
+#include "metrics/throughput_bounds.h"
+
+#include "common/error.h"
+
+namespace dcn::metrics {
+
+ThroughputBounds ComputeBounds(const topo::Topology& net,
+                               const std::vector<routing::Route>& routes,
+                               std::int64_t measured_bisection,
+                               double link_capacity) {
+  DCN_REQUIRE(link_capacity > 0, "link capacity must be positive");
+  std::size_t total_links = 0;
+  std::size_t flows = 0;
+  for (const routing::Route& route : routes) {
+    if (route.Empty()) continue;
+    total_links += route.LinkCount();
+    ++flows;
+  }
+  ThroughputBounds bounds;
+  if (flows == 0 || total_links == 0) return bounds;
+
+  const double mean_length =
+      static_cast<double>(total_links) / static_cast<double>(flows);
+  // 2 directed units of capacity per undirected link.
+  bounds.link_capacity_bound =
+      2.0 * static_cast<double>(net.LinkCount()) * link_capacity / mean_length;
+  bounds.nic_bound = static_cast<double>(flows) *
+                     static_cast<double>(net.ServerPorts()) * link_capacity;
+  bounds.bisection_bound =
+      2.0 * static_cast<double>(measured_bisection) * link_capacity;
+  return bounds;
+}
+
+}  // namespace dcn::metrics

@@ -1,0 +1,38 @@
+// Analytic throughput upper bounds (fluid limits).
+//
+// For any workload routed over any topology, aggregate throughput is capped
+// by resource counting: the flows collectively consume (rate × path length)
+// units of directed link capacity, and only 2·links units exist. The same
+// argument per NIC and per bisection cut gives two more ceilings. These
+// bounds frame the simulator's numbers: measured aggregate / bound tells how
+// close routing gets to the fluid optimum (the BCube paper's ABT analysis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/route.h"
+#include "topology/topology.h"
+
+namespace dcn::metrics {
+
+struct ThroughputBounds {
+  // Sum of rates can never exceed total directed link capacity divided by
+  // the mean route length of the workload.
+  double link_capacity_bound = 0.0;
+  // Each server NIC set sources at most (ports × capacity) per direction;
+  // with one flow per server (permutation) the egress cap is flows × ports.
+  double nic_bound = 0.0;
+  // Workloads crossing the canonical bisection are capped by twice the cut
+  // (both directions). Only meaningful for bisection-crossing patterns.
+  double bisection_bound = 0.0;
+};
+
+// Bounds for a concrete routed workload. `measured_bisection` is the min-cut
+// from metrics::MeasureBisection (passed in so callers can reuse it).
+ThroughputBounds ComputeBounds(const topo::Topology& net,
+                               const std::vector<routing::Route>& routes,
+                               std::int64_t measured_bisection,
+                               double link_capacity = 1.0);
+
+}  // namespace dcn::metrics

@@ -1,0 +1,13 @@
+#include "routing/abccc_routing.h"
+
+namespace dcn::routing {
+
+Route AbcccRoute(const topo::Abccc& net, graph::NodeId src, graph::NodeId dst,
+                 PermutationStrategy strategy, Rng* rng) {
+  const topo::AbcccAddress from = net.AddressOf(src);
+  const topo::AbcccAddress to = net.AddressOf(dst);
+  const std::vector<int> order = MakeLevelOrder(net, from, to, strategy, rng);
+  return Route{net.RouteWithLevelOrder(src, dst, order)};
+}
+
+}  // namespace dcn::routing

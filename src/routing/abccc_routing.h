@@ -1,0 +1,18 @@
+// One-to-one routing over ABCCC (the paper's §routing contribution).
+#pragma once
+
+#include "common/rng.h"
+#include "routing/permutation.h"
+#include "routing/route.h"
+#include "topology/abccc.h"
+
+namespace dcn::routing {
+
+// Deterministic digit-fixing route using the given permutation strategy.
+// Worst case 4(k+1)+2 links; kGroupedFromSource also saves the first/last
+// crossbar repositioning whenever src/dst are agents of differing levels.
+Route AbcccRoute(const topo::Abccc& net, graph::NodeId src, graph::NodeId dst,
+                 PermutationStrategy strategy = PermutationStrategy::kGroupedFromSource,
+                 Rng* rng = nullptr);
+
+}  // namespace dcn::routing

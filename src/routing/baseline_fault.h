@@ -1,0 +1,67 @@
+// Fault-tolerant routing for the baseline topologies, so the fault-tolerance
+// comparison (F19) measures each design's own repair story rather than
+// handicapping the baselines with fail-stop routing:
+//   * BCube — BSR-style digit fixing with postponement and intermediate-value
+//     detours (Guo et al. describe source routing over alternative paths).
+//   * DCell — DFR-style proxy rerouting: when the inter-sub-cell link of the
+//     recursive decomposition is dead, detour through a third sub-cell.
+//   * Fat-tree — ECMP re-hashing: try every (aggregation, core) choice for
+//     the up-down path.
+// Each router optionally falls back to BFS on the surviving graph (idealized
+// link-state repair) so "success == reachable" can be verified; ablations
+// disable the fallback to isolate the structured repair.
+#pragma once
+
+#include "common/rng.h"
+#include "routing/fault_routing.h"  // FaultRoutingOptions / FaultRoutingStats
+#include "routing/route.h"
+#include "topology/bcube.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+#include "topology/ficonn.h"
+
+namespace dcn::routing {
+
+// BCube: greedy digit fixing. Reuses FaultRoutingOptions; `allow_postpone`
+// reorders the digit sequence around dead switches, `allow_plane_detour`
+// corrects a digit through an intermediate value.
+Route BcubeFaultTolerantRoute(const topo::Bcube& net, graph::NodeId src,
+                              graph::NodeId dst,
+                              const graph::FailureSet& failures, Rng& rng,
+                              const FaultRoutingOptions& options = {},
+                              FaultRoutingStats* stats = nullptr);
+
+// DCell: recursive routing with proxy detours. `allow_plane_detour` enables
+// routing via a random third sub-cell when the direct inter-cell link is
+// dead (counted in stats->plane_detours); recursion depth is bounded.
+Route DcellFaultTolerantRoute(const topo::Dcell& net, graph::NodeId src,
+                              graph::NodeId dst,
+                              const graph::FailureSet& failures, Rng& rng,
+                              const FaultRoutingOptions& options = {},
+                              FaultRoutingStats* stats = nullptr);
+
+// Topology-agnostic proxy repair: walk the native route; on the first dead
+// element, retry via a random live proxy server (native route to the proxy,
+// then on to the destination, recursively repaired), loop-erase the stitched
+// walk, and accept only if it validates under the failures. This is the
+// DFR-style repair generalized to any Topology; FiConn uses it directly.
+Route ProxyRepairRoute(const topo::Topology& net, graph::NodeId src,
+                       graph::NodeId dst, const graph::FailureSet& failures,
+                       Rng& rng, const FaultRoutingOptions& options = {},
+                       FaultRoutingStats* stats = nullptr);
+
+// Fat-tree: tries all equal-cost (agg, core) choices in a random order
+// (stats->plane_detours counts rejected candidates).
+Route FatTreeFaultTolerantRoute(const topo::FatTree& net, graph::NodeId src,
+                                graph::NodeId dst,
+                                const graph::FailureSet& failures, Rng& rng,
+                                const FaultRoutingOptions& options = {},
+                                FaultRoutingStats* stats = nullptr);
+
+// All equal-cost up-down candidate routes between two fat-tree servers
+// (1, k/2, or (k/2)^2 candidates depending on locality). Useful for ECMP
+// load-balancing comparisons as well.
+std::vector<Route> FatTreeEcmpRoutes(const topo::FatTree& net, graph::NodeId src,
+                                     graph::NodeId dst);
+
+}  // namespace dcn::routing

@@ -1,0 +1,15 @@
+#include "routing/bfs_router.h"
+
+#include "common/error.h"
+#include "graph/bfs.h"
+
+namespace dcn::routing {
+
+Route BfsRoute(const topo::Topology& net, graph::NodeId src, graph::NodeId dst,
+               const graph::FailureSet* failures) {
+  DCN_REQUIRE(net.Network().IsServer(src), "BfsRoute src must be a server");
+  DCN_REQUIRE(net.Network().IsServer(dst), "BfsRoute dst must be a server");
+  return Route{graph::ShortestPath(net.Network(), src, dst, failures)};
+}
+
+}  // namespace dcn::routing

@@ -1,0 +1,14 @@
+// Shortest-path routing baseline: what an idealized link-state protocol
+// would achieve. Used as the yardstick for native routing stretch (F2).
+#pragma once
+
+#include "routing/route.h"
+#include "topology/topology.h"
+
+namespace dcn::routing {
+
+// Shortest live path between two servers; empty if unreachable.
+Route BfsRoute(const topo::Topology& net, graph::NodeId src, graph::NodeId dst,
+               const graph::FailureSet* failures = nullptr);
+
+}  // namespace dcn::routing

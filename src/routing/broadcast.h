@@ -1,0 +1,70 @@
+// One-to-all and one-to-many routing (the GBC3/journal extension).
+//
+// Broadcast builds a structured spanning tree: distribute within the root's
+// row over the crossbar, then for each level l fan out across the level-l
+// switches from every already-covered row (digit doubling — after level l the
+// covered rows are exactly those matching the root on digits > l), finally
+// crossbar-distributing inside each newly covered row. Depth is O(k), and
+// every link carries the payload at most once. Multicast prunes the same
+// tree to the target set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "routing/route.h"
+#include "topology/abccc.h"
+#include "topology/bcube.h"
+#include "topology/gabccc.h"
+
+namespace dcn::routing {
+
+struct SpanningTree {
+  graph::NodeId root = graph::kInvalidNode;
+  // Indexed by server node id. parent[s] is the previous server on the path
+  // from the root (kInvalidNode for the root and for servers outside the
+  // tree); via[s] is the relay switch between parent[s] and s.
+  std::vector<graph::NodeId> parent;
+  std::vector<graph::NodeId> via;
+  // Distance from root in links (−1 if not in the tree).
+  std::vector<int> depth;
+
+  bool Contains(graph::NodeId server) const {
+    return server >= 0 && static_cast<std::size_t>(server) < depth.size() &&
+           depth[server] >= 0;
+  }
+  std::size_t CoveredCount() const;
+  int MaxDepth() const;
+  // The root->server path, empty if the server is not covered.
+  Route PathTo(graph::NodeId server) const;
+};
+
+// Spanning tree covering every server. The GeneralAbccc overload serves
+// mixed-radix (partially grown) deployments identically.
+SpanningTree AbcccBroadcastTree(const topo::Abccc& net, graph::NodeId root);
+SpanningTree AbcccBroadcastTree(const topo::GeneralAbccc& net, graph::NodeId root);
+
+// The broadcast tree pruned to the given targets (plus the relay servers
+// needed to reach them).
+SpanningTree AbcccMulticastTree(const topo::Abccc& net, graph::NodeId root,
+                                std::span<const graph::NodeId> targets);
+SpanningTree AbcccMulticastTree(const topo::GeneralAbccc& net, graph::NodeId root,
+                                std::span<const graph::NodeId> targets);
+
+// Number of distinct links the tree uses (relay fan-out shares the uplink).
+std::size_t TreeLinkCount(const graph::Graph& graph, const SpanningTree& tree);
+
+// Failure-aware fallback: a BFS tree over the surviving graph from the
+// root, covering every reachable live server (relay switches become `via`
+// hops; DCell-style direct server-server links get via = kInvalidNode and a
+// depth step of 1). The structured trees above assume a healthy fabric;
+// operationally a broadcast after failures uses this.
+SpanningTree FallbackBroadcastTree(const graph::Graph& graph, graph::NodeId root,
+                                   const graph::FailureSet* failures = nullptr);
+
+// BCube one-to-all baseline (digit doubling, Guo et al. §5): after stage l
+// the covered servers are exactly those matching the root above digit l.
+// Depth 2(k+1); used by the F13 comparison.
+SpanningTree BcubeBroadcastTree(const topo::Bcube& net, graph::NodeId root);
+
+}  // namespace dcn::routing

@@ -1,0 +1,130 @@
+#include "routing/load_balance.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dcn::routing {
+
+namespace {
+
+// Load bookkeeping over directed links, with incremental apply/remove.
+class LoadTracker {
+ public:
+  explicit LoadTracker(std::size_t edge_count) : load_(edge_count * 2, 0) {}
+
+  void Apply(const std::vector<std::uint64_t>& links, int delta) {
+    for (std::uint64_t link : links) {
+      load_[link] += delta;
+      DCN_ASSERT(load_[link] >= 0);
+    }
+  }
+
+  // The bottleneck this candidate would create if added now: the maximum of
+  // (current load + 1) over its links. Lower is better.
+  std::size_t CostOf(const std::vector<std::uint64_t>& links) const {
+    std::size_t worst = 0;
+    for (std::uint64_t link : links) {
+      worst = std::max(worst, static_cast<std::size_t>(load_[link]) + 1);
+    }
+    return worst;
+  }
+
+  std::size_t MaxLoad() const {
+    int worst = 0;
+    for (int l : load_) worst = std::max(worst, l);
+    return static_cast<std::size_t>(worst);
+  }
+
+  double MeanBusyLoad() const {
+    std::int64_t total = 0, busy = 0;
+    for (int l : load_) {
+      if (l > 0) {
+        total += l;
+        ++busy;
+      }
+    }
+    return busy == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(busy);
+  }
+
+ private:
+  std::vector<int> load_;
+};
+
+}  // namespace
+
+LoadBalanceResult AssignRoutes(const graph::Graph& graph,
+                               const std::vector<std::vector<Route>>& candidates,
+                               const LoadBalanceOptions& options) {
+  DCN_REQUIRE(options.refinement_passes >= 0,
+              "refinement_passes must be non-negative");
+  // Pre-resolve every candidate's directed links once.
+  std::vector<std::vector<std::vector<std::uint64_t>>> links(candidates.size());
+  for (std::size_t f = 0; f < candidates.size(); ++f) {
+    DCN_REQUIRE(!candidates[f].empty(), "every flow needs at least one candidate");
+    links[f].reserve(candidates[f].size());
+    for (const Route& route : candidates[f]) {
+      links[f].push_back(RouteDirectedLinks(graph, route));
+    }
+  }
+
+  LoadTracker tracker{graph.EdgeCount()};
+  std::vector<std::size_t> chosen(candidates.size(), 0);
+
+  auto best_candidate = [&](std::size_t f) {
+    std::size_t best = 0;
+    std::size_t best_cost = tracker.CostOf(links[f][0]);
+    std::size_t best_length = links[f][0].size();
+    for (std::size_t i = 1; i < links[f].size(); ++i) {
+      const std::size_t cost = tracker.CostOf(links[f][i]);
+      const std::size_t length = links[f][i].size();
+      if (cost < best_cost || (cost == best_cost && length < best_length)) {
+        best = i;
+        best_cost = cost;
+        best_length = length;
+      }
+    }
+    return best;
+  };
+
+  // Greedy pass.
+  for (std::size_t f = 0; f < candidates.size(); ++f) {
+    chosen[f] = best_candidate(f);
+    tracker.Apply(links[f][chosen[f]], +1);
+  }
+
+  // Refinement: re-decide each flow with everyone else in place.
+  for (int pass = 0; pass < options.refinement_passes; ++pass) {
+    bool changed = false;
+    for (std::size_t f = 0; f < candidates.size(); ++f) {
+      tracker.Apply(links[f][chosen[f]], -1);
+      const std::size_t best = best_candidate(f);
+      changed |= best != chosen[f];
+      chosen[f] = best;
+      tracker.Apply(links[f][best], +1);
+    }
+    if (!changed) break;
+  }
+
+  LoadBalanceResult result;
+  result.chosen = chosen;
+  result.routes.reserve(candidates.size());
+  for (std::size_t f = 0; f < candidates.size(); ++f) {
+    result.routes.push_back(candidates[f][chosen[f]]);
+  }
+  result.max_link_load = tracker.MaxLoad();
+  result.mean_link_load = tracker.MeanBusyLoad();
+  return result;
+}
+
+std::pair<std::size_t, double> LinkLoadProfile(const graph::Graph& graph,
+                                               const std::vector<Route>& routes) {
+  LoadTracker tracker{graph.EdgeCount()};
+  for (const Route& route : routes) {
+    if (route.Empty() || route.LinkCount() == 0) continue;
+    tracker.Apply(RouteDirectedLinks(graph, route), +1);
+  }
+  return {tracker.MaxLoad(), tracker.MeanBusyLoad()};
+}
+
+}  // namespace dcn::routing

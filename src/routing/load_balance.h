@@ -1,0 +1,45 @@
+// Load-aware route assignment over multipath candidates.
+//
+// The ICC'15 companion paper's point: in BCCC/ABCCC the *permutation* a flow
+// uses decides which level switches it crosses, so a coordinator (or a
+// consistent hash) can spread flows across planes. This module implements
+// the offline version: given per-flow candidate route sets (e.g. the
+// rotations from routing/multipath.h), pick one route per flow to minimize
+// the most-loaded directed link, greedily with optional refinement passes.
+// The F11 bench quantifies the throughput this buys over single-path
+// routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/route.h"
+
+namespace dcn::routing {
+
+struct LoadBalanceOptions {
+  // Additional local-search passes after the greedy pass: each flow is
+  // re-assigned to its best candidate given everyone else's choice. 0 keeps
+  // pure greedy; small values (1-3) capture most of the benefit.
+  int refinement_passes = 2;
+};
+
+struct LoadBalanceResult {
+  // chosen[f] is an index into candidates[f]; routes[f] the chosen route.
+  std::vector<std::size_t> chosen;
+  std::vector<Route> routes;
+  // Flows crossing the most-loaded directed link, before/after refinement.
+  std::size_t max_link_load = 0;
+  double mean_link_load = 0.0;  // over links carrying at least one flow
+};
+
+// candidates[f] must be non-empty and every route valid for the graph.
+LoadBalanceResult AssignRoutes(const graph::Graph& graph,
+                               const std::vector<std::vector<Route>>& candidates,
+                               const LoadBalanceOptions& options = {});
+
+// Max and mean directed-link load of a fixed route set (diagnostic).
+std::pair<std::size_t, double> LinkLoadProfile(const graph::Graph& graph,
+                                               const std::vector<Route>& routes);
+
+}  // namespace dcn::routing

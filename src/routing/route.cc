@@ -1,0 +1,107 @@
+#include "routing/route.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace dcn::routing {
+
+std::string ValidateRoute(const graph::Graph& graph, const Route& route,
+                          const graph::FailureSet* failures) {
+  if (route.hops.empty()) return "route is empty";
+  for (graph::NodeId node : route.hops) {
+    if (node < 0 || static_cast<std::size_t>(node) >= graph.NodeCount()) {
+      return "hop out of range: " + std::to_string(node);
+    }
+    if (failures != nullptr && failures->NodeDead(node)) {
+      return "hop through dead node " + std::to_string(node);
+    }
+  }
+  if (!graph.IsServer(route.Src())) return "route does not start at a server";
+  if (!graph.IsServer(route.Dst())) return "route does not end at a server";
+
+  std::unordered_set<graph::EdgeId> used;
+  for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+    const graph::NodeId u = route.hops[i];
+    const graph::NodeId v = route.hops[i + 1];
+    if (u == v) return "route repeats node " + std::to_string(u);
+    // Prefer a live, unused parallel link if several exist.
+    graph::EdgeId chosen = graph::kInvalidEdge;
+    for (const graph::HalfEdge& half : graph.Neighbors(u)) {
+      if (half.to != v) continue;
+      if (failures != nullptr && failures->EdgeDead(half.edge)) continue;
+      if (used.count(half.edge) > 0) continue;
+      chosen = half.edge;
+      break;
+    }
+    if (chosen == graph::kInvalidEdge) {
+      return "no usable link between hop " + std::to_string(i) + " (" +
+             std::to_string(u) + ") and hop " + std::to_string(i + 1) + " (" +
+             std::to_string(v) + ")";
+    }
+    used.insert(chosen);
+  }
+  return "";
+}
+
+std::vector<graph::EdgeId> RouteLinks(const graph::Graph& graph, const Route& route,
+                                      const graph::FailureSet* failures) {
+  const std::string problem = ValidateRoute(graph, route, failures);
+  if (!problem.empty()) {
+    throw FailedPrecondition{"RouteLinks on invalid route: " + problem};
+  }
+  std::vector<graph::EdgeId> links;
+  links.reserve(route.LinkCount());
+  std::unordered_set<graph::EdgeId> used;
+  for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+    for (const graph::HalfEdge& half : graph.Neighbors(route.hops[i])) {
+      if (half.to != route.hops[i + 1]) continue;
+      if (failures != nullptr && failures->EdgeDead(half.edge)) continue;
+      if (used.count(half.edge) > 0) continue;
+      links.push_back(half.edge);
+      used.insert(half.edge);
+      break;
+    }
+  }
+  DCN_ASSERT(links.size() == route.LinkCount());
+  return links;
+}
+
+Route EraseLoops(Route route) {
+  std::vector<graph::NodeId> out;
+  out.reserve(route.hops.size());
+  std::unordered_map<graph::NodeId, std::size_t> position;
+  for (const graph::NodeId hop : route.hops) {
+    const auto seen = position.find(hop);
+    if (seen != position.end()) {
+      // Splice out the cycle: drop everything after the first occurrence.
+      for (std::size_t i = seen->second + 1; i < out.size(); ++i) {
+        position.erase(out[i]);
+      }
+      out.resize(seen->second + 1);
+      continue;
+    }
+    position[hop] = out.size();
+    out.push_back(hop);
+  }
+  return Route{std::move(out)};
+}
+
+std::vector<std::uint64_t> RouteDirectedLinks(const graph::Graph& graph,
+                                              const Route& route) {
+  const std::vector<graph::EdgeId> edges = RouteLinks(graph, route);
+  std::vector<std::uint64_t> directed;
+  directed.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [u, v] = graph.Endpoints(edges[i]);
+    const bool forward = route.hops[i] == u;
+    DCN_ASSERT(forward || route.hops[i] == v);
+    directed.push_back(static_cast<std::uint64_t>(edges[i]) * 2 +
+                       (forward ? 0 : 1));
+  }
+  return directed;
+}
+
+}  // namespace dcn::routing

@@ -1,0 +1,198 @@
+#include "sim/broadcast_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "routing/route.h"
+
+namespace dcn::sim {
+
+namespace {
+
+constexpr double kServiceTime = 1.0;
+
+// A copy in flight: message id, destination server, and its 2-link segment
+// (parent -> via -> child), expressed as directed link ids.
+struct Copy {
+  std::uint32_t message = 0;
+  graph::NodeId child = graph::kInvalidNode;
+  std::uint64_t first_link = 0;   // parent -> via
+  std::uint64_t second_link = 0;  // via -> child
+  std::uint8_t hop = 0;           // 0 or 1
+};
+
+struct MessageState {
+  double born = 0.0;
+  bool measured = false;
+  std::uint32_t outstanding = 0;  // deliveries still pending (incl. queued)
+  double last_delivery = 0.0;
+  bool dropped_any = false;
+};
+
+enum class EventKind : std::uint8_t { kGenerate, kDepart };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kGenerate;
+  std::uint64_t payload = 0;  // directed link id for kDepart
+  std::uint64_t seq = 0;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct LinkQueue {
+  std::deque<std::uint32_t> copies;  // indices into the copy pool
+  std::uint64_t transmitted = 0;
+};
+
+std::uint64_t DirectedLink(const graph::Graph& g, graph::NodeId from,
+                           graph::NodeId to) {
+  const graph::EdgeId edge = g.FindEdge(from, to);
+  DCN_REQUIRE(edge != graph::kInvalidEdge,
+              "broadcast tree edge missing from the graph");
+  const auto [u, v] = g.Endpoints(edge);
+  return static_cast<std::uint64_t>(edge) * 2 + (from == u ? 0 : 1);
+}
+
+}  // namespace
+
+BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
+                                   const routing::SpanningTree& tree,
+                                   const BroadcastSimConfig& config) {
+  DCN_REQUIRE(config.message_rate > 0, "message_rate must be positive");
+  DCN_REQUIRE(config.duration > config.warmup && config.warmup >= 0,
+              "need 0 <= warmup < duration");
+  DCN_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
+  DCN_REQUIRE(tree.CoveredCount() >= 2, "broadcast tree covers nothing");
+
+  // children[s]: tree children of server s, with precomputed link segments.
+  struct ChildSegment {
+    graph::NodeId child;
+    std::uint64_t first_link;
+    std::uint64_t second_link;
+  };
+  std::unordered_map<graph::NodeId, std::vector<ChildSegment>> children;
+  std::uint32_t receivers = 0;
+  for (graph::NodeId server = 0;
+       static_cast<std::size_t>(server) < tree.parent.size(); ++server) {
+    if (tree.parent[server] == graph::kInvalidNode) continue;
+    DCN_REQUIRE(tree.via[server] != graph::kInvalidNode,
+                "broadcast sim requires switch-relayed tree edges");
+    children[tree.parent[server]].push_back(
+        ChildSegment{server, DirectedLink(graph, tree.parent[server], tree.via[server]),
+                     DirectedLink(graph, tree.via[server], server)});
+    ++receivers;
+  }
+  DCN_ASSERT(receivers + 1 == tree.CoveredCount());
+
+  std::vector<LinkQueue> links(graph.EdgeCount() * 2);
+  std::vector<Copy> pool;
+  std::vector<MessageState> messages;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  std::uint64_t seq = 0;
+  Rng rng{config.seed};
+  BroadcastSimResult result;
+
+  auto schedule = [&](double time, EventKind kind, std::uint64_t payload) {
+    events.push(Event{time, kind, payload, seq++});
+  };
+
+  auto enqueue = [&](std::uint32_t copy_id, std::uint64_t link, double now) {
+    LinkQueue& q = links[link];
+    if (static_cast<int>(q.copies.size()) >= config.queue_capacity) {
+      MessageState& message = messages[pool[copy_id].message];
+      message.dropped_any = true;
+      --message.outstanding;
+      if (message.measured) ++result.copies_dropped;
+      return;
+    }
+    q.copies.push_back(copy_id);
+    result.max_queue_depth =
+        std::max(result.max_queue_depth, static_cast<int>(q.copies.size()));
+    if (q.copies.size() == 1) {
+      schedule(now + kServiceTime, EventKind::kDepart, link);
+    }
+  };
+
+  // A server holds the message: replicate to its children.
+  auto replicate = [&](std::uint32_t message_id, graph::NodeId holder, double now) {
+    const auto it = children.find(holder);
+    if (it == children.end()) return;
+    for (const ChildSegment& segment : it->second) {
+      const auto copy_id = static_cast<std::uint32_t>(pool.size());
+      pool.push_back(Copy{message_id, segment.child, segment.first_link,
+                          segment.second_link, 0});
+      enqueue(copy_id, segment.first_link, now);
+    }
+  };
+
+  schedule(rng.NextExponential(config.message_rate), EventKind::kGenerate, 0);
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    const double now = event.time;
+
+    if (event.kind == EventKind::kGenerate) {
+      if (now < config.duration) {
+        const auto message_id = static_cast<std::uint32_t>(messages.size());
+        messages.push_back(
+            MessageState{now, now >= config.warmup, receivers, now, false});
+        ++result.messages;
+        if (messages.back().measured) ++result.measured;
+        replicate(message_id, tree.root, now);
+        schedule(now + rng.NextExponential(config.message_rate),
+                 EventKind::kGenerate, 0);
+      }
+      continue;
+    }
+
+    LinkQueue& q = links[event.payload];
+    DCN_ASSERT(!q.copies.empty());
+    const std::uint32_t copy_id = q.copies.front();
+    q.copies.pop_front();
+    ++q.transmitted;
+    if (!q.copies.empty()) {
+      schedule(now + kServiceTime, EventKind::kDepart, event.payload);
+    }
+
+    Copy& copy = pool[copy_id];
+    if (copy.hop == 0) {
+      copy.hop = 1;
+      enqueue(copy_id, copy.second_link, now);
+      continue;
+    }
+    // Delivered to copy.child.
+    MessageState& message = messages[copy.message];
+    --message.outstanding;
+    message.last_delivery = now;
+    if (message.measured) {
+      result.delivery_latency.Add(now - message.born);
+      if (message.outstanding == 0 && !message.dropped_any) {
+        ++result.complete;
+        result.completion_latency.Add(now - message.born);
+      }
+    }
+    replicate(copy.message, copy.child, now);
+  }
+
+  double busiest = 0.0;
+  for (const LinkQueue& q : links) {
+    if (q.transmitted == 0) continue;
+    busiest = std::max(busiest, static_cast<double>(q.transmitted) * kServiceTime /
+                                    config.duration);
+  }
+  result.max_link_utilization = busiest;
+  return result;
+}
+
+}  // namespace dcn::sim

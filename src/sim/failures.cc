@@ -1,0 +1,30 @@
+#include "sim/failures.h"
+
+#include "common/error.h"
+
+namespace dcn::sim {
+
+graph::FailureSet RandomFailures(const topo::Topology& net,
+                                 double server_fraction, double switch_fraction,
+                                 double link_fraction, Rng& rng) {
+  DCN_REQUIRE(server_fraction >= 0 && server_fraction <= 1,
+              "server_fraction must be in [0,1]");
+  DCN_REQUIRE(switch_fraction >= 0 && switch_fraction <= 1,
+              "switch_fraction must be in [0,1]");
+  DCN_REQUIRE(link_fraction >= 0 && link_fraction <= 1,
+              "link_fraction must be in [0,1]");
+  const graph::Graph& g = net.Network();
+  graph::FailureSet failures{g};
+  for (graph::NodeId node = 0; static_cast<std::size_t>(node) < g.NodeCount();
+       ++node) {
+    const double p = g.IsServer(node) ? server_fraction : switch_fraction;
+    if (rng.NextBernoulli(p)) failures.KillNode(node);
+  }
+  for (graph::EdgeId edge = 0; static_cast<std::size_t>(edge) < g.EdgeCount();
+       ++edge) {
+    if (rng.NextBernoulli(link_fraction)) failures.KillEdge(edge);
+  }
+  return failures;
+}
+
+}  // namespace dcn::sim

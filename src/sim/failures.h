@@ -1,0 +1,16 @@
+// Random failure injection for the fault-tolerance experiments (F7).
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "topology/topology.h"
+
+namespace dcn::sim {
+
+// Kills each server / switch / link independently with the given
+// probabilities (fractions in [0, 1]). Deterministic given rng.
+graph::FailureSet RandomFailures(const topo::Topology& net,
+                                 double server_fraction, double switch_fraction,
+                                 double link_fraction, Rng& rng);
+
+}  // namespace dcn::sim

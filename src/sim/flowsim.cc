@@ -1,0 +1,134 @@
+#include "sim/flowsim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace dcn::sim {
+
+FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
+                                         const std::vector<routing::Route>& routes,
+                                         const std::vector<double>& demands,
+                                         double link_capacity,
+                                         bool count_empty_as_zero) {
+  DCN_REQUIRE(link_capacity > 0, "link capacity must be positive");
+  DCN_REQUIRE(demands.size() == routes.size(),
+              "need exactly one demand per route");
+  for (double demand : demands) {
+    DCN_REQUIRE(demand > 0, "flow demands must be positive");
+  }
+
+  FlowSimResult result;
+  result.rates.assign(routes.size(), 0.0);
+
+  // Flows with a route and at least one link participate in filling. Flows
+  // whose route is just {src} (src == dst) are unconstrained; give them one
+  // link-capacity worth of loopback bandwidth.
+  std::vector<std::vector<std::uint64_t>> flow_links(routes.size());
+  std::vector<double> capacity(graph.EdgeCount() * 2, link_capacity);
+  std::vector<int> active(graph.EdgeCount() * 2, 0);
+  std::vector<bool> fixed(routes.size(), true);
+  std::size_t unfixed = 0;
+  for (std::size_t f = 0; f < routes.size(); ++f) {
+    if (routes[f].Empty()) continue;
+    if (routes[f].LinkCount() == 0) {
+      result.rates[f] = std::min(link_capacity, demands[f]);
+      continue;
+    }
+    flow_links[f] = routing::RouteDirectedLinks(graph, routes[f]);
+    for (std::uint64_t link : flow_links[f]) ++active[link];
+    fixed[f] = false;
+    ++unfixed;
+  }
+
+  while (unfixed > 0) {
+    // Bottleneck link: smallest fair share among links with active flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::uint64_t bottleneck = 0;
+    for (std::uint64_t link = 0; link < capacity.size(); ++link) {
+      if (active[link] == 0) continue;
+      const double share = capacity[link] / static_cast<double>(active[link]);
+      if (share < best_share) {
+        best_share = share;
+        bottleneck = link;
+      }
+    }
+    DCN_ASSERT(best_share < std::numeric_limits<double>::infinity());
+
+    // Demand-limited flows freeze first: any unfixed flow whose demand is at
+    // most the current fair share stops at its demand, releasing capacity
+    // for everyone else. Only if no flow is demand-limited does the
+    // bottleneck link freeze its flows at the fair share.
+    double min_demand = std::numeric_limits<double>::infinity();
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (!fixed[f]) min_demand = std::min(min_demand, demands[f]);
+    }
+
+    auto freeze = [&](std::size_t f, double rate) {
+      result.rates[f] = rate;
+      fixed[f] = true;
+      --unfixed;
+      for (std::uint64_t link : flow_links[f]) {
+        capacity[link] -= rate;
+        if (capacity[link] < 0) capacity[link] = 0;  // numeric guard
+        --active[link];
+      }
+    };
+
+    if (min_demand <= best_share) {
+      for (std::size_t f = 0; f < routes.size(); ++f) {
+        if (!fixed[f] && demands[f] <= best_share) freeze(f, demands[f]);
+      }
+      continue;
+    }
+
+    // Freeze every unfixed flow crossing the bottleneck at the fair share.
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (fixed[f]) continue;
+      bool crosses = false;
+      for (std::uint64_t link : flow_links[f]) {
+        if (link == bottleneck) {
+          crosses = true;
+          break;
+        }
+      }
+      if (crosses) freeze(f, best_share);
+    }
+  }
+
+  double min_rate = std::numeric_limits<double>::infinity();
+  double max_rate = 0.0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t f = 0; f < routes.size(); ++f) {
+    if (routes[f].Empty() && !count_empty_as_zero) continue;
+    sum += result.rates[f];
+    sum_squares += result.rates[f] * result.rates[f];
+    min_rate = std::min(min_rate, result.rates[f]);
+    max_rate = std::max(max_rate, result.rates[f]);
+    ++counted;
+  }
+  result.aggregate = sum;
+  result.min_rate = counted > 0 ? min_rate : 0.0;
+  result.max_rate = max_rate;
+  result.mean_rate = counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+  result.abt = static_cast<double>(counted) * result.min_rate;
+  result.jain_fairness =
+      (counted > 0 && sum_squares > 0)
+          ? (sum * sum) / (static_cast<double>(counted) * sum_squares)
+          : 0.0;
+  return result;
+}
+
+FlowSimResult MaxMinFairRates(const graph::Graph& graph,
+                              const std::vector<routing::Route>& routes,
+                              double link_capacity, bool count_empty_as_zero) {
+  const std::vector<double> unbounded(
+      routes.size(), std::numeric_limits<double>::max() / 4);
+  return MaxMinFairRatesWithDemands(graph, routes, unbounded, link_capacity,
+                                    count_empty_as_zero);
+}
+
+}  // namespace dcn::sim

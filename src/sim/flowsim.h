@@ -1,0 +1,54 @@
+// Flow-level throughput model: progressive-filling max-min fair allocation.
+//
+// This is the standard methodology behind the "aggregate bottleneck
+// throughput" (ABT) numbers in the BCube/BCCC evaluations: every flow gets
+// the largest rate such that no directed link exceeds its capacity and no
+// flow can be increased without decreasing a smaller one. Full-duplex links
+// are modeled as two independent directed capacities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/route.h"
+
+namespace dcn::sim {
+
+struct FlowSimResult {
+  std::vector<double> rates;  // per input route, same order
+  double aggregate = 0.0;     // sum of rates (network throughput)
+  double min_rate = 0.0;
+  double max_rate = 0.0;
+  double mean_rate = 0.0;
+  // Aggregate bottleneck throughput as defined by Guo et al.: the number of
+  // flows times the bottleneck (minimum) flow rate — what an application
+  // that must wait for its slowest flow actually gets.
+  double abt = 0.0;
+  // Jain's fairness index over the counted flows: (Σx)² / (n·Σx²) ∈ (0, 1];
+  // 1.0 means perfectly equal rates.
+  double jain_fairness = 0.0;
+};
+
+// Computes max-min fair rates for the given routed flows. Routes must be
+// valid for the graph. `link_capacity` is per direction. Empty routes (from
+// failed routing) receive rate 0 and are skipped in min/abt accounting only
+// if `count_empty_as_zero` is false.
+FlowSimResult MaxMinFairRates(const graph::Graph& graph,
+                              const std::vector<routing::Route>& routes,
+                              double link_capacity = 1.0,
+                              bool count_empty_as_zero = true);
+
+// Demand-capped variant: flow f additionally never exceeds demands[f]
+// (a finite application sending rate). A flow whose demand is below every
+// bottleneck share is frozen at its demand and its unused share is
+// redistributed — the water-filling generalization used for mixed
+// mice/elephant workloads (F16). demands.size() must equal routes.size();
+// demands must be positive.
+FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
+                                         const std::vector<routing::Route>& routes,
+                                         const std::vector<double>& demands,
+                                         double link_capacity = 1.0,
+                                         bool count_empty_as_zero = true);
+
+}  // namespace dcn::sim

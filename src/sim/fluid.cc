@@ -1,0 +1,83 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "sim/flowsim.h"
+
+namespace dcn::sim {
+
+FluidResult FluidCompletionTimes(const graph::Graph& graph,
+                                 const std::vector<routing::Route>& routes,
+                                 const std::vector<double>& bytes,
+                                 double link_capacity) {
+  DCN_REQUIRE(routes.size() == bytes.size(), "need one byte count per flow");
+  for (double b : bytes) {
+    DCN_REQUIRE(b > 0, "flow sizes must be positive");
+  }
+
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  FluidResult result;
+  result.finish_time.assign(routes.size(), kInfinity);
+
+  std::vector<double> remaining = bytes;
+  std::vector<bool> done(routes.size(), false);
+  // Unroutable flows never finish; self-flows finish at full NIC rate.
+  std::size_t active = 0;
+  for (std::size_t f = 0; f < routes.size(); ++f) {
+    if (routes[f].Empty()) {
+      done[f] = true;
+    } else {
+      ++active;
+    }
+  }
+
+  double now = 0.0;
+  while (active > 0) {
+    // Rates for the currently active flows (finished flows release capacity
+    // by being excluded — empty routes get rate 0 and are skipped).
+    std::vector<routing::Route> current(routes.size());
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (!done[f]) current[f] = routes[f];
+    }
+    const FlowSimResult rates =
+        MaxMinFairRates(graph, current, link_capacity, /*count_empty=*/true);
+    ++result.rate_recomputations;
+
+    // Next completion: smallest remaining/rate among active flows.
+    double step = kInfinity;
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (done[f]) continue;
+      DCN_ASSERT(rates.rates[f] > 0);
+      step = std::min(step, remaining[f] / rates.rates[f]);
+    }
+    DCN_ASSERT(step < kInfinity);
+    now += step;
+
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (done[f]) continue;
+      remaining[f] -= rates.rates[f] * step;
+      if (remaining[f] <= 1e-9 * bytes[f]) {
+        done[f] = true;
+        --active;
+        result.finish_time[f] = now;
+        result.makespan = std::max(result.makespan, now);
+      }
+    }
+  }
+  return result;
+}
+
+double CoflowCompletionTime(const FluidResult& result,
+                            const std::vector<std::size_t>& members) {
+  DCN_REQUIRE(!members.empty(), "coflow needs at least one member");
+  double completion = 0.0;
+  for (std::size_t member : members) {
+    DCN_REQUIRE(member < result.finish_time.size(), "member index out of range");
+    completion = std::max(completion, result.finish_time[member]);
+  }
+  return completion;
+}
+
+}  // namespace dcn::sim

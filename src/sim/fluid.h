@@ -1,0 +1,39 @@
+// Fluid flow-progress simulation: finite flows draining under max-min fair
+// sharing, with rates recomputed at every flow completion.
+//
+// The static flow simulator (flowsim.h) answers "what rates do concurrent
+// flows get"; real transfers *finish*, releasing capacity to the survivors.
+// This module advances that process exactly: compute max-min rates, jump to
+// the next completion, repeat. The result is per-flow completion times —
+// the quantity application-level metrics (shuffle/coflow completion time,
+// F23) are built from.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/route.h"
+
+namespace dcn::sim {
+
+struct FluidResult {
+  // Completion time of each flow (same order as the inputs). Flows with an
+  // empty route (unroutable) get infinity.
+  std::vector<double> finish_time;
+  double makespan = 0.0;  // max finite finish time (0 if none)
+  int rate_recomputations = 0;
+};
+
+// `bytes[f]` units of data for flow f over routes[f]; link capacity is in
+// units per time per direction. All byte counts must be positive.
+FluidResult FluidCompletionTimes(const graph::Graph& graph,
+                                 const std::vector<routing::Route>& routes,
+                                 const std::vector<double>& bytes,
+                                 double link_capacity = 1.0);
+
+// A coflow: the set of flow indices belonging to one application stage; its
+// completion time is its slowest member's.
+double CoflowCompletionTime(const FluidResult& result,
+                            const std::vector<std::size_t>& members);
+
+}  // namespace dcn::sim

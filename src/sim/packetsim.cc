@@ -1,0 +1,190 @@
+#include "sim/packetsim.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dcn::sim {
+
+namespace {
+
+constexpr double kServiceTime = 1.0;
+
+struct Packet {
+  std::uint32_t route = 0;
+  std::uint32_t hop = 0;  // index into the route's directed-link sequence
+  double born = 0.0;
+  bool measured = false;
+};
+
+enum class EventKind : std::uint8_t { kGenerate, kDepart };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kGenerate;
+  std::uint64_t payload = 0;  // route index or directed-link index
+  // Tie-break on sequence number for determinism.
+  std::uint64_t seq = 0;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct LinkQueue {
+  std::deque<std::uint32_t> packets;  // packet pool indices; front in service
+  std::uint64_t transmitted = 0;      // packets fully serviced by this link
+};
+
+}  // namespace
+
+PacketSimResult RunPacketSimMultipath(
+    const graph::Graph& graph,
+    const std::vector<std::vector<routing::Route>>& candidates,
+    const PacketSimConfig& config, SprayPolicy policy) {
+  DCN_REQUIRE(config.offered_load > 0, "offered_load must be positive");
+  DCN_REQUIRE(config.duration > config.warmup && config.warmup >= 0,
+              "need 0 <= warmup < duration");
+  DCN_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
+  DCN_REQUIRE(!candidates.empty(), "packet sim needs at least one source");
+
+  // Flatten every candidate route to its directed-link sequence; sources
+  // index their candidates through (offset, count).
+  std::vector<std::vector<std::uint64_t>> route_links;
+  std::vector<std::size_t> offset(candidates.size() + 1, 0);
+  for (std::size_t source = 0; source < candidates.size(); ++source) {
+    DCN_REQUIRE(!candidates[source].empty(),
+                "every source needs at least one candidate route");
+    for (const routing::Route& route : candidates[source]) {
+      DCN_REQUIRE(route.LinkCount() >= 1,
+                  "packet sim routes must traverse at least one link");
+      DCN_REQUIRE(route.Src() == candidates[source].front().Src(),
+                  "a source's candidate routes must share their origin");
+      route_links.push_back(routing::RouteDirectedLinks(graph, route));
+    }
+    offset[source + 1] = route_links.size();
+  }
+  std::vector<std::size_t> next_candidate(candidates.size(), 0);
+
+  std::vector<LinkQueue> links(graph.EdgeCount() * 2);
+  std::vector<Packet> pool;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  std::uint64_t seq = 0;
+  Rng rng{config.seed};
+  PacketSimResult result;
+
+  auto schedule = [&](double time, EventKind kind, std::uint64_t payload) {
+    events.push(Event{time, kind, payload, seq++});
+  };
+
+  // On enqueue, a packet either joins the FIFO (starting service if the link
+  // was idle) or is dropped.
+  auto enqueue = [&](std::uint32_t packet, std::uint64_t link, double now) {
+    LinkQueue& q = links[link];
+    if (static_cast<int>(q.packets.size()) >= config.queue_capacity) {
+      if (pool[packet].measured) ++result.dropped;
+      return;
+    }
+    q.packets.push_back(packet);
+    result.max_queue_depth =
+        std::max(result.max_queue_depth, static_cast<int>(q.packets.size()));
+    if (q.packets.size() == 1) {
+      schedule(now + kServiceTime, EventKind::kDepart, link);
+    }
+  };
+
+  // Prime one generator per source; each fires a Poisson stream until
+  // `duration`.
+  for (std::size_t source = 0; source < candidates.size(); ++source) {
+    schedule(rng.NextExponential(config.offered_load), EventKind::kGenerate,
+             source);
+  }
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    const double now = event.time;
+
+    if (event.kind == EventKind::kGenerate) {
+      const auto source = static_cast<std::size_t>(event.payload);
+      if (now < config.duration) {
+        const std::size_t span = offset[source + 1] - offset[source];
+        std::size_t pick = 0;
+        if (span > 1) {
+          if (policy == SprayPolicy::kRoundRobin) {
+            pick = next_candidate[source];
+            next_candidate[source] = (pick + 1) % span;
+          } else {
+            pick = rng.NextUint64(span);
+          }
+        }
+        const auto r = static_cast<std::uint32_t>(offset[source] + pick);
+        const auto id = static_cast<std::uint32_t>(pool.size());
+        pool.push_back(Packet{r, 0, now, now >= config.warmup});
+        ++result.generated;
+        if (pool.back().measured) ++result.measured;
+        enqueue(id, route_links[r][0], now);
+        schedule(now + rng.NextExponential(config.offered_load),
+                 EventKind::kGenerate, source);
+      }
+      continue;
+    }
+
+    // kDepart: the head of this link's queue finished transmission.
+    LinkQueue& q = links[event.payload];
+    DCN_ASSERT(!q.packets.empty());
+    const std::uint32_t id = q.packets.front();
+    q.packets.pop_front();
+    ++q.transmitted;
+    if (!q.packets.empty()) {
+      schedule(now + kServiceTime, EventKind::kDepart, event.payload);
+    }
+
+    Packet& packet = pool[id];
+    ++packet.hop;
+    if (packet.hop == route_links[packet.route].size()) {
+      if (packet.measured) {
+        ++result.delivered;
+        result.latency.Add(now - packet.born);
+      }
+    } else {
+      enqueue(id, route_links[packet.route][packet.hop], now);
+    }
+  }
+
+  double busiest = 0.0, total = 0.0;
+  std::size_t busy_links = 0;
+  for (const LinkQueue& q : links) {
+    if (q.transmitted == 0) continue;
+    const double utilization =
+        static_cast<double>(q.transmitted) * kServiceTime / config.duration;
+    busiest = std::max(busiest, utilization);
+    total += utilization;
+    ++busy_links;
+  }
+  result.max_link_utilization = busiest;
+  result.mean_link_utilization =
+      busy_links == 0 ? 0.0 : total / static_cast<double>(busy_links);
+
+  DCN_ASSERT(result.delivered + result.dropped <= result.measured);
+  return result;
+}
+
+PacketSimResult RunPacketSim(const graph::Graph& graph,
+                             const std::vector<routing::Route>& routes,
+                             const PacketSimConfig& config) {
+  std::vector<std::vector<routing::Route>> singleton;
+  singleton.reserve(routes.size());
+  for (const routing::Route& route : routes) {
+    singleton.push_back({route});
+  }
+  return RunPacketSimMultipath(graph, singleton, config);
+}
+
+}  // namespace dcn::sim

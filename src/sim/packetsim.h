@@ -1,0 +1,73 @@
+// Packet-level discrete-event simulator.
+//
+// Store-and-forward, FIFO output queues per directed link, unit service time
+// per packet per link (time is measured in packet transmission times),
+// drop-tail when a queue is full. Sources emit Poisson traffic along fixed,
+// precomputed routes. This complements the flow-level model: it exposes
+// queueing latency and loss vs offered load (experiment F9), which max-min
+// fairness abstracts away.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "graph/graph.h"
+#include "routing/route.h"
+
+namespace dcn::sim {
+
+struct PacketSimConfig {
+  // Packets per time unit injected by EACH route's source. 1.0 saturates a
+  // source NIC.
+  double offered_load = 0.5;
+  double duration = 1000.0;  // generation window, in packet service times
+  double warmup = 200.0;     // packets born before this are not measured
+  int queue_capacity = 16;   // packets per directed-link queue (incl. in service)
+  std::uint64_t seed = 0xdcf1035;
+};
+
+struct PacketSimResult {
+  std::uint64_t generated = 0;
+  std::uint64_t measured = 0;   // generated after warmup
+  std::uint64_t delivered = 0;  // of the measured packets
+  std::uint64_t dropped = 0;    // of the measured packets
+  SampleSet latency;            // end-to-end, measured packets only
+  // Busiest directed link: packets it transmitted divided by the generation
+  // window (can slightly exceed 1.0 because queued packets drain after the
+  // window closes).
+  double max_link_utilization = 0.0;
+  // Mean over directed links that carried at least one packet.
+  double mean_link_utilization = 0.0;
+  // Deepest any output queue ever got (including the packet in service).
+  int max_queue_depth = 0;
+  double DeliveredFraction() const {
+    return measured == 0 ? 0.0
+                         : static_cast<double>(delivered) / static_cast<double>(measured);
+  }
+};
+
+// Runs the simulation until every generated packet is delivered or dropped.
+// Routes must be valid and non-empty; a route of a single hop (src == dst)
+// is rejected.
+PacketSimResult RunPacketSim(const graph::Graph& graph,
+                             const std::vector<routing::Route>& routes,
+                             const PacketSimConfig& config = {});
+
+// How a multipath source spreads packets over its candidate routes.
+enum class SprayPolicy {
+  kRoundRobin,       // cycle deterministically through the candidates
+  kRandomPerPacket,  // uniform independent choice per packet
+};
+
+// Multipath variant: each source owns a set of candidate routes (e.g. the
+// rotations from routing/multipath.h) and sprays packets across them — the
+// packet-level counterpart of flow-level load balancing (F11/F14). Every
+// candidate set must be non-empty; all routes share their set's source.
+PacketSimResult RunPacketSimMultipath(
+    const graph::Graph& graph,
+    const std::vector<std::vector<routing::Route>>& candidates,
+    const PacketSimConfig& config = {},
+    SprayPolicy policy = SprayPolicy::kRoundRobin);
+
+}  // namespace dcn::sim

@@ -1,0 +1,74 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dcn::sim {
+
+std::vector<Flow> PermutationTraffic(const topo::Topology& net, Rng& rng) {
+  const auto servers = net.Servers();
+  const std::vector<std::size_t> perm = RandomDerangement(servers.size(), rng);
+  std::vector<Flow> flows;
+  flows.reserve(servers.size());
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    flows.push_back(Flow{servers[i], servers[perm[i]]});
+  }
+  return flows;
+}
+
+std::vector<Flow> AllToAllTraffic(const topo::Topology& net,
+                                  std::size_t max_flows, Rng& rng) {
+  DCN_REQUIRE(max_flows > 0, "max_flows must be positive");
+  const auto servers = net.Servers();
+  const std::size_t total = servers.size() * (servers.size() - 1);
+  std::vector<Flow> flows;
+  if (total <= max_flows) {
+    flows.reserve(total);
+    for (const graph::NodeId src : servers) {
+      for (const graph::NodeId dst : servers) {
+        if (src != dst) flows.push_back(Flow{src, dst});
+      }
+    }
+    return flows;
+  }
+  flows.reserve(max_flows);
+  while (flows.size() < max_flows) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    if (src != dst) flows.push_back(Flow{src, dst});
+  }
+  return flows;
+}
+
+std::vector<Flow> ManyToOneTraffic(const topo::Topology& net,
+                                   std::size_t senders, Rng& rng) {
+  const auto servers = net.Servers();
+  DCN_REQUIRE(senders >= 1 && senders < servers.size(),
+              "senders must be in [1, server count)");
+  std::vector<graph::NodeId> pool(servers.begin(), servers.end());
+  rng.Shuffle(pool);
+  const graph::NodeId target = pool.back();
+  std::vector<Flow> flows;
+  flows.reserve(senders);
+  for (std::size_t i = 0; i < senders; ++i) {
+    flows.push_back(Flow{pool[i], target});
+  }
+  return flows;
+}
+
+std::vector<Flow> BisectionTraffic(const topo::Topology& net, Rng& rng) {
+  auto [side_a, side_b] = net.BisectionHalves();
+  rng.Shuffle(side_a);
+  rng.Shuffle(side_b);
+  const std::size_t pairs = std::min(side_a.size(), side_b.size());
+  std::vector<Flow> flows;
+  flows.reserve(2 * pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    flows.push_back(Flow{side_a[i], side_b[i]});
+    flows.push_back(Flow{side_b[i], side_a[i]});
+  }
+  return flows;
+}
+
+}  // namespace dcn::sim

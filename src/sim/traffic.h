@@ -1,0 +1,35 @@
+// Traffic pattern generators used by the simulation experiments (F6, F9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace dcn::sim {
+
+struct Flow {
+  graph::NodeId src = graph::kInvalidNode;
+  graph::NodeId dst = graph::kInvalidNode;
+};
+
+// One flow per server to a distinct random partner (a random derangement):
+// the standard "one-to-one" pattern of the paper family.
+std::vector<Flow> PermutationTraffic(const topo::Topology& net, Rng& rng);
+
+// Every ordered server pair, or a uniform random sample of `max_flows` of
+// them when the full n*(n-1) set would be larger.
+std::vector<Flow> AllToAllTraffic(const topo::Topology& net,
+                                  std::size_t max_flows, Rng& rng);
+
+// `senders` random distinct servers all sending to one random target
+// (incast).
+std::vector<Flow> ManyToOneTraffic(const topo::Topology& net,
+                                   std::size_t senders, Rng& rng);
+
+// A random perfect matching across the canonical bisection halves, both
+// directions — the workload that stresses the bisection cut.
+std::vector<Flow> BisectionTraffic(const topo::Topology& net, Rng& rng);
+
+}  // namespace dcn::sim

@@ -1,0 +1,37 @@
+// Mixed-radix digit addressing shared by the cube-based topologies.
+//
+// A digit vector stores a_0 .. a_k little-endian: digits[l] is the level-l
+// digit, so level-l routing touches index l directly. String rendering is
+// big-endian ("a_k...a_0"), matching how the papers print addresses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcn::topo {
+
+using Digits = std::vector<int>;
+
+// digits interpreted in the given base; digits[i] has weight base^i.
+std::uint64_t DigitsToIndex(std::span<const int> digits, int base);
+
+// Inverse of DigitsToIndex for a fixed digit count.
+Digits IndexToDigits(std::uint64_t index, int base, int count);
+
+// Index of `digits` with position `skip` removed (used to identify the
+// level-`skip` switch shared by servers differing only in that digit).
+std::uint64_t DigitsToIndexSkipping(std::span<const int> digits, int base, int skip);
+
+// "a_k...a_0" with separating dots when base > 10, e.g. "3.0.1".
+std::string DigitsToString(std::span<const int> digits, int base);
+
+// Number of positions where the two equal-length vectors differ.
+int HammingDistance(std::span<const int> a, std::span<const int> b);
+
+// base^exponent with overflow check (throws InvalidArgument on overflow);
+// topology sizes must stay representable.
+std::uint64_t CheckedPow(std::uint64_t base, unsigned exponent);
+
+}  // namespace dcn::topo

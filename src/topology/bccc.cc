@@ -1,0 +1,4 @@
+#include "topology/bccc.h"
+
+// BCCC is a named specialization of ABCCC; all behavior lives in the base
+// class. This translation unit anchors the vtable.

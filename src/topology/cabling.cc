@@ -1,0 +1,140 @@
+#include "topology/cabling.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/error.h"
+
+namespace dcn::topo {
+
+void CablingOptions::Validate() const {
+  DCN_REQUIRE(servers_per_rack >= 1, "servers_per_rack must be >= 1");
+  DCN_REQUIRE(racks_per_row >= 1, "racks_per_row must be >= 1");
+  DCN_REQUIRE(rack_pitch_m > 0 && row_pitch_m > 0, "pitches must be positive");
+  DCN_REQUIRE(intra_rack_m > 0, "intra_rack_m must be positive");
+  DCN_REQUIRE(slack_factor >= 1.0, "slack_factor must be >= 1");
+}
+
+std::vector<std::size_t> AssignRacks(const Topology& net,
+                                     const CablingOptions& options) {
+  options.Validate();
+  const graph::Graph& g = net.Network();
+  std::vector<std::size_t> rack(g.NodeCount(), 0);
+
+  // Servers fill racks in id order.
+  std::size_t next_rack = 0;
+  int in_rack = 0;
+  for (const graph::NodeId server : g.Servers()) {
+    rack[server] = next_rack;
+    if (++in_rack == options.servers_per_rack) {
+      ++next_rack;
+      in_rack = 0;
+    }
+  }
+
+  // Each switch joins the rack where most of its already-placed neighbors
+  // live. Server neighbors are always placed; switch-switch links (fat-tree
+  // fabric) resolve in id order, so an aggregation switch sees its edge
+  // switches already racked. Vote ties are broken by spreading switches
+  // round-robin over the tied racks (keyed on the switch id) — a spine/core
+  // layer whose neighbors straddle many racks must not pile into one rack,
+  // or that rack becomes a whole-fabric single point of failure.
+  std::vector<bool> placed(g.NodeCount(), false);
+  for (const graph::NodeId server : g.Servers()) placed[server] = true;
+  for (graph::NodeId node = 0; static_cast<std::size_t>(node) < g.NodeCount();
+       ++node) {
+    if (!g.IsSwitch(node)) continue;
+    std::map<std::size_t, int> votes;
+    for (const graph::HalfEdge& half : g.Neighbors(node)) {
+      if (placed[half.to]) ++votes[rack[half.to]];
+    }
+    int best_votes = 0;
+    for (const auto& [candidate, count] : votes) {
+      best_votes = std::max(best_votes, count);
+    }
+    std::vector<std::size_t> tied;
+    for (const auto& [candidate, count] : votes) {
+      if (count == best_votes) tied.push_back(candidate);
+    }
+    // Isolated switches (no placed neighbor) default to rack 0.
+    rack[node] = tied.empty()
+                     ? 0
+                     : tied[static_cast<std::size_t>(node) % tied.size()];
+    placed[node] = true;
+  }
+  return rack;
+}
+
+namespace {
+
+double RackDistanceM(std::size_t a, std::size_t b, const CablingOptions& options) {
+  const auto ax = static_cast<long>(a % static_cast<std::size_t>(options.racks_per_row));
+  const auto ay = static_cast<long>(a / static_cast<std::size_t>(options.racks_per_row));
+  const auto bx = static_cast<long>(b % static_cast<std::size_t>(options.racks_per_row));
+  const auto by = static_cast<long>(b / static_cast<std::size_t>(options.racks_per_row));
+  return static_cast<double>(std::labs(ax - bx)) * options.rack_pitch_m +
+         static_cast<double>(std::labs(ay - by)) * options.row_pitch_m;
+}
+
+}  // namespace
+
+CableBill PlanCabling(const Topology& net, const CablingOptions& options) {
+  const std::vector<std::size_t> rack = AssignRacks(net, options);
+  const graph::Graph& g = net.Network();
+
+  CableBill bill;
+  std::size_t max_rack = 0;
+  for (std::size_t r : rack) max_rack = std::max(max_rack, r);
+  bill.racks = max_rack + 1;
+  bill.lengths_m.reserve(g.EdgeCount());
+
+  for (graph::EdgeId edge = 0; static_cast<std::size_t>(edge) < g.EdgeCount();
+       ++edge) {
+    const auto [u, v] = g.Endpoints(edge);
+    double length = options.intra_rack_m;
+    if (rack[u] == rack[v]) {
+      ++bill.intra_rack;
+    } else {
+      // Inter-rack: patch down, across the floor with slack, patch up.
+      length = 2 * options.intra_rack_m +
+               options.slack_factor * RackDistanceM(rack[u], rack[v], options);
+    }
+    ++bill.cables;
+    bill.total_m += length;
+    bill.lengths_m.push_back(length);
+  }
+  return bill;
+}
+
+double CableBill::MeanLengthM() const {
+  return cables == 0 ? 0.0 : total_m / static_cast<double>(cables);
+}
+
+double CableBill::MaxLengthM() const {
+  double longest = 0.0;
+  for (double length : lengths_m) longest = std::max(longest, length);
+  return longest;
+}
+
+std::size_t CableBill::FiberCount(const CablePricing& pricing) const {
+  std::size_t count = 0;
+  for (double length : lengths_m) {
+    count += length > pricing.copper_limit_m ? 1 : 0;
+  }
+  return count;
+}
+
+double CableBill::CostUsd(const CablePricing& pricing) const {
+  double cost = 0.0;
+  for (double length : lengths_m) {
+    if (length > pricing.copper_limit_m) {
+      cost += length * pricing.fiber_usd_per_m + pricing.optics_pair_usd;
+    } else {
+      cost += length * pricing.copper_usd_per_m;
+    }
+  }
+  return cost;
+}
+
+}  // namespace dcn::topo

@@ -1,0 +1,66 @@
+// Physical deployment planning: racks, floor grid, and cable lengths.
+//
+// The CAPEX comparison (F4) prices every cable the same; in a real machine
+// room cable cost depends on length, and topologies differ sharply in how
+// local their links are (an ABCCC row + crossbar sits in one rack; a level-k
+// switch spans the room, as does a fat-tree core). This module places nodes
+// into racks on a grid floor plan and computes per-link lengths, giving the
+// F15 bench a length-aware cost comparison.
+//
+// Placement policy: servers fill racks in id order; every switch is then
+// placed in the rack holding the majority of its attached servers/switch
+// peers (ties to the lowest rack) — standard top-of-rack practice. This
+// keeps an ABCCC row's crossbar, a DCell mini-switch, and a fat-tree edge
+// switch with their servers, while spine/level/core switches land wherever
+// one of their planes lives and cable out to the rest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace dcn::topo {
+
+struct CablingOptions {
+  int servers_per_rack = 40;   // 1U servers in a 42U rack
+  int racks_per_row = 16;      // floor grid width
+  double rack_pitch_m = 1.2;   // center-to-center distance of adjacent racks
+  double row_pitch_m = 3.0;    // aisle width between rack rows
+  double intra_rack_m = 2.0;   // any cable that stays inside one rack
+  double slack_factor = 1.5;   // overhead vs Manhattan distance (trays, drops)
+
+  void Validate() const;
+};
+
+// Length-tiered cable pricing: short runs are direct-attach copper, anything
+// past the copper limit needs fiber plus a transceiver pair.
+struct CablePricing {
+  double copper_usd_per_m = 2.0;
+  double fiber_usd_per_m = 1.0;
+  double optics_pair_usd = 120.0;
+  double copper_limit_m = 7.0;
+};
+
+struct CableBill {
+  std::size_t cables = 0;
+  std::size_t intra_rack = 0;      // cables that never leave their rack
+  std::size_t racks = 0;
+  double total_m = 0.0;
+  std::vector<double> lengths_m;   // one entry per cable, edge-id order
+
+  double MeanLengthM() const;
+  double MaxLengthM() const;
+  // Cables longer than the pricing's copper limit (need fiber + optics).
+  std::size_t FiberCount(const CablePricing& pricing = {}) const;
+  double CostUsd(const CablePricing& pricing = {}) const;
+};
+
+// Rack index for every node under the placement policy.
+std::vector<std::size_t> AssignRacks(const Topology& net,
+                                     const CablingOptions& options = {});
+
+// Full cable bill for the topology under the floor plan.
+CableBill PlanCabling(const Topology& net, const CablingOptions& options = {});
+
+}  // namespace dcn::topo

@@ -1,0 +1,57 @@
+#include "topology/cost_model.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dcn::topo {
+
+CapexReport EvaluateCost(const Topology& topology, const CostModel& model) {
+  const graph::Graph& g = topology.Network();
+  CapexReport report;
+  report.servers = g.ServerCount();
+  report.switches = g.SwitchCount();
+  report.links = g.EdgeCount();
+
+  for (graph::NodeId node = 0; static_cast<std::size_t>(node) < g.NodeCount();
+       ++node) {
+    if (g.IsServer(node)) {
+      report.nic_ports += g.Degree(node);
+    } else {
+      report.switch_ports += g.Degree(node);
+    }
+  }
+  DCN_ASSERT(report.nic_ports + report.switch_ports == 2 * report.links);
+
+  report.servers_usd = static_cast<double>(report.servers) * model.server_usd;
+  report.nics_usd = static_cast<double>(report.nic_ports) * model.nic_port_usd;
+  report.switches_usd =
+      static_cast<double>(report.switches) * model.switch_base_usd +
+      static_cast<double>(report.switch_ports) * model.switch_port_usd;
+  report.cables_usd = static_cast<double>(report.links) * model.cable_usd;
+  report.total_usd = report.servers_usd + report.nics_usd + report.switches_usd +
+                     report.cables_usd;
+  report.network_usd = report.total_usd - report.servers_usd;
+  const auto n = static_cast<double>(report.servers);
+  report.per_server_usd = report.total_usd / n;
+  report.network_per_server_usd = report.network_usd / n;
+
+  report.network_watts =
+      static_cast<double>(report.nic_ports) * model.nic_port_watts +
+      static_cast<double>(report.switches) * model.switch_base_watts +
+      static_cast<double>(report.switch_ports) * model.switch_port_watts;
+  report.total_watts =
+      report.network_watts + static_cast<double>(report.servers) * model.server_watts;
+  report.watts_per_server = report.total_watts / n;
+  return report;
+}
+
+std::string ToString(const CapexReport& r) {
+  std::ostringstream out;
+  out << r.servers << " servers, " << r.switches << " switches, " << r.links
+      << " links; network $" << r.network_usd << " ($"
+      << r.network_per_server_usd << "/server), " << r.network_watts << " W";
+  return out.str();
+}
+
+}  // namespace dcn::topo

@@ -1,0 +1,80 @@
+#include "topology/export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dcn::topo {
+
+namespace {
+
+// DOT string literals need escaped quotes/backslashes.
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool NodeDead(const ExportOptions& options, graph::NodeId node) {
+  return options.failures != nullptr && options.failures->NodeDead(node);
+}
+
+bool EdgeDead(const ExportOptions& options, graph::EdgeId edge) {
+  return options.failures != nullptr && options.failures->EdgeDead(edge);
+}
+
+}  // namespace
+
+void WriteDot(std::ostream& out, const topo::Topology& net,
+              const ExportOptions& options) {
+  const graph::Graph& g = net.Network();
+  out << "graph \"" << Escape(net.Describe()) << "\" {\n"
+      << "  layout=neato;\n  overlap=false;\n";
+  for (graph::NodeId node = 0; static_cast<std::size_t>(node) < g.NodeCount(); ++node) {
+    out << "  n" << node << " [shape="
+        << (g.IsServer(node) ? "box" : "ellipse");
+    if (options.labels) {
+      out << ", label=\"" << Escape(net.NodeLabel(node)) << "\"";
+    }
+    if (NodeDead(options, node)) {
+      out << ", style=dashed, color=red";
+    }
+    out << "];\n";
+  }
+  for (graph::EdgeId edge = 0; static_cast<std::size_t>(edge) < g.EdgeCount(); ++edge) {
+    const auto [u, v] = g.Endpoints(edge);
+    out << "  n" << u << " -- n" << v;
+    if (EdgeDead(options, edge)) {
+      out << " [style=dashed, color=red]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  out.flush();
+}
+
+void WriteEdgeCsv(std::ostream& out, const topo::Topology& net,
+                  const ExportOptions& options) {
+  const graph::Graph& g = net.Network();
+  out << "edge_id,node_u,label_u,node_v,label_v,alive\n";
+  for (graph::EdgeId edge = 0; static_cast<std::size_t>(edge) < g.EdgeCount(); ++edge) {
+    const auto [u, v] = g.Endpoints(edge);
+    const bool alive = !EdgeDead(options, edge) && !NodeDead(options, u) &&
+                       !NodeDead(options, v);
+    out << edge << "," << u << "," << (options.labels ? net.NodeLabel(u) : "")
+        << "," << v << "," << (options.labels ? net.NodeLabel(v) : "") << ","
+        << (alive ? 1 : 0) << "\n";
+  }
+  out.flush();
+}
+
+std::string ToDotString(const topo::Topology& net, const ExportOptions& options) {
+  std::ostringstream out;
+  WriteDot(out, net, options);
+  return out.str();
+}
+
+}  // namespace dcn::topo

@@ -1,0 +1,32 @@
+// Graph export: GraphViz DOT and a flat CSV edge list.
+//
+// Operators debug topologies visually; both formats carry the topology's own
+// node labels (addresses, switch roles) and optionally mark failures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "topology/topology.h"
+
+namespace dcn::topo {
+
+struct ExportOptions {
+  // Dead nodes/links are drawn dashed red instead of omitted.
+  const graph::FailureSet* failures = nullptr;
+  // Skip node labels (ids only) for very large graphs.
+  bool labels = true;
+};
+
+// GraphViz DOT: servers as boxes, switches as ellipses.
+void WriteDot(std::ostream& out, const topo::Topology& net,
+              const ExportOptions& options = {});
+
+// CSV with one line per link: edge_id,node_u,label_u,node_v,label_v,alive
+void WriteEdgeCsv(std::ostream& out, const topo::Topology& net,
+                  const ExportOptions& options = {});
+
+std::string ToDotString(const topo::Topology& net, const ExportOptions& options = {});
+
+}  // namespace dcn::topo

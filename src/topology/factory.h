@@ -1,0 +1,28 @@
+// Topology factory: build any supported network from a spec string.
+//
+// Spec grammar:  <family>:<key>=<value>[,<key>=<value>...]
+//   abccc:n=4,k=2,c=3
+//   gabccc:radices=4.4.2,c=2     (mixed radices, big-endian a_k..a_0)
+//   bccc:n=4,k=2
+//   bcube:n=4,k=2
+//   dcell:n=4,k=1
+//   fattree:k=8
+// Unknown families, unknown keys, and missing required keys all throw
+// InvalidArgument with a message naming the problem — specs come from CLI
+// flags and experiment configs, so errors must be self-explanatory.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace dcn::topo {
+
+std::unique_ptr<Topology> MakeTopology(const std::string& spec);
+
+// The families MakeTopology accepts, with one example spec each.
+std::vector<std::string> SupportedSpecs();
+
+}  // namespace dcn::topo

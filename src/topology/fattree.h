@@ -1,0 +1,62 @@
+// Fat-tree(k) — Al-Fares et al., SIGCOMM 2008. The switch-centric baseline:
+// k pods of k/2 edge + k/2 aggregation switches, (k/2)^2 cores, k^3/4
+// single-NIC servers, full bisection bandwidth. Routing is deterministic
+// up-down with the ECMP choice hashed on the destination address.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace dcn::topo {
+
+struct FatTreeParams {
+  int k = 4;  // switch radix; must be even and >= 2
+
+  void Validate() const;
+  int Half() const { return k / 2; }
+  std::uint64_t ServerTotal() const;  // k^3 / 4
+  std::uint64_t SwitchTotal() const;  // k^2 + (k/2)^2  (edge + agg + core)
+  std::uint64_t LinkTotal() const;    // 3 k^3 / 4
+};
+
+class FatTree final : public Topology {
+ public:
+  explicit FatTree(FatTreeParams params);
+  explicit FatTree(int k) : FatTree(FatTreeParams{k}) {}
+
+  const FatTreeParams& Params() const { return params_; }
+
+  graph::NodeId ServerIdOf(int pod, int edge, int host) const;
+  graph::NodeId EdgeSwitch(int pod, int edge) const;
+  graph::NodeId AggSwitch(int pod, int agg) const;
+  graph::NodeId CoreSwitch(int index) const;
+
+  int PodOf(graph::NodeId server) const;
+  int EdgeIndexOf(graph::NodeId server) const;
+  int HostIndexOf(graph::NodeId server) const;
+
+  std::string Name() const override { return "FatTree"; }
+  std::string Describe() const override;
+  std::string NodeLabel(graph::NodeId node) const override;
+  std::vector<graph::NodeId> Route(graph::NodeId src,
+                                   graph::NodeId dst) const override;
+  int ServerPorts() const override { return 1; }
+  int RouteLengthBound() const override { return 6; }
+  // Rearrangeably non-blocking: full bisection, N/2 unit links.
+  double TheoreticalBisection() const override;
+
+ private:
+  void Build();
+  void CheckServer(graph::NodeId node) const;
+
+  FatTreeParams params_;
+  std::uint64_t server_total_ = 0;
+  std::uint64_t edge_base_ = 0;
+  std::uint64_t agg_base_ = 0;
+  std::uint64_t core_base_ = 0;
+};
+
+}  // namespace dcn::topo

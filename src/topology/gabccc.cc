@@ -1,0 +1,422 @@
+#include "topology/gabccc.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dcn::topo {
+
+void GeneralAbcccParams::Validate() const {
+  DCN_REQUIRE(!radices.empty(), "GeneralABCCC needs at least one level");
+  for (int radix : radices) {
+    DCN_REQUIRE(radix >= 2, "every level radix must be >= 2");
+  }
+  DCN_REQUIRE(c >= 2, "GeneralABCCC requires servers with c >= 2 NIC ports");
+  (void)ServerTotal();
+}
+
+int GeneralAbcccParams::RowLength() const {
+  const int digits = DigitCount();
+  return (digits + c - 2) / (c - 1);
+}
+
+std::pair<int, int> GeneralAbcccParams::AgentLevels(int role) const {
+  DCN_REQUIRE(role >= 0 && role < RowLength(), "role out of range");
+  const int lo = role * (c - 1);
+  const int hi = std::min(lo + c - 2, Order());
+  return {lo, hi};
+}
+
+std::uint64_t GeneralAbcccParams::RowCount() const {
+  std::uint64_t rows = 1;
+  for (int radix : radices) {
+    DCN_REQUIRE(rows <= std::numeric_limits<std::uint64_t>::max() /
+                            static_cast<std::uint64_t>(radix),
+                "GeneralABCCC size overflows");
+    rows *= static_cast<std::uint64_t>(radix);
+  }
+  return rows;
+}
+
+std::uint64_t GeneralAbcccParams::ServerTotal() const {
+  const std::uint64_t rows = RowCount();
+  const auto m = static_cast<std::uint64_t>(RowLength());
+  DCN_REQUIRE(rows <= (std::uint64_t{1} << 62) / m, "server count overflows");
+  return rows * m;
+}
+
+std::uint64_t GeneralAbcccParams::CrossbarTotal() const {
+  return HasCrossbars() ? RowCount() : 0;
+}
+
+std::uint64_t GeneralAbcccParams::LevelSwitchCount(int level) const {
+  DCN_REQUIRE(level >= 0 && level <= Order(), "level out of range");
+  return RowCount() / static_cast<std::uint64_t>(radices[level]);
+}
+
+std::uint64_t GeneralAbcccParams::LevelSwitchTotal() const {
+  std::uint64_t total = 0;
+  for (int level = 0; level <= Order(); ++level) {
+    total += LevelSwitchCount(level);
+  }
+  return total;
+}
+
+std::uint64_t GeneralAbcccParams::LinkTotal() const {
+  // Each level contributes one link per row (its switches' ports sum to the
+  // row count); crossbars add one link per server.
+  return static_cast<std::uint64_t>(DigitCount()) * RowCount() +
+         (HasCrossbars() ? ServerTotal() : 0);
+}
+
+GeneralAbccc::GeneralAbccc(GeneralAbcccParams params) : params_(std::move(params)) {
+  params_.Validate();
+  Build();
+}
+
+void GeneralAbccc::Build() {
+  const int m = params_.RowLength();
+  const int k = params_.Order();
+  const std::uint64_t rows = params_.RowCount();
+  server_total_ = params_.ServerTotal();
+
+  weight_.resize(static_cast<std::size_t>(k + 1));
+  std::uint64_t w = 1;
+  for (int level = 0; level <= k; ++level) {
+    weight_[level] = w;
+    w *= static_cast<std::uint64_t>(params_.radices[level]);
+  }
+  level_offset_.resize(static_cast<std::size_t>(k + 1));
+  std::uint64_t offset = 0;
+  for (int level = 0; level <= k; ++level) {
+    level_offset_[level] = offset;
+    offset += params_.LevelSwitchCount(level);
+  }
+
+  graph::Graph& g = MutableNetwork();
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    for (int j = 0; j < m; ++j) g.AddNode(graph::NodeKind::kServer);
+  }
+  crossbar_base_ = g.NodeCount();
+  if (params_.HasCrossbars()) {
+    for (std::uint64_t row = 0; row < rows; ++row) {
+      g.AddNode(graph::NodeKind::kSwitch);
+    }
+  }
+  level_switch_base_ = g.NodeCount();
+  for (std::uint64_t s = 0; s < params_.LevelSwitchTotal(); ++s) {
+    g.AddNode(graph::NodeKind::kSwitch);
+  }
+
+  if (params_.HasCrossbars()) {
+    for (std::uint64_t row = 0; row < rows; ++row) {
+      for (int j = 0; j < m; ++j) {
+        g.AddEdge(ServerAtRow(row, j), CrossbarAt(row));
+      }
+    }
+  }
+
+  // Level links: enumerate every row once per level and connect its agent to
+  // the row's level-l switch; each switch is hit radices[l] times, once per
+  // digit value.
+  for (int level = 0; level <= k; ++level) {
+    const int agent = params_.AgentRole(level);
+    for (std::uint64_t row = 0; row < rows; ++row) {
+      const Digits digits = RowToDigits(row);
+      g.AddEdge(ServerAtRow(row, agent), LevelSwitchAt(level, digits));
+    }
+  }
+
+  DCN_ASSERT(g.ServerCount() == params_.ServerTotal());
+  DCN_ASSERT(g.SwitchCount() ==
+             params_.CrossbarTotal() + params_.LevelSwitchTotal());
+  DCN_ASSERT(g.EdgeCount() == params_.LinkTotal());
+}
+
+std::uint64_t GeneralAbccc::DigitsToRow(std::span<const int> digits) const {
+  DCN_REQUIRE(digits.size() == static_cast<std::size_t>(params_.DigitCount()),
+              "GeneralABCCC address needs k+1 digits");
+  std::uint64_t row = 0;
+  for (int level = 0; level <= params_.Order(); ++level) {
+    DCN_REQUIRE(digits[level] >= 0 && digits[level] < params_.radices[level],
+                "digit out of range for its level radix");
+    row += static_cast<std::uint64_t>(digits[level]) * weight_[level];
+  }
+  return row;
+}
+
+Digits GeneralAbccc::RowToDigits(std::uint64_t row) const {
+  Digits digits(static_cast<std::size_t>(params_.DigitCount()));
+  for (int level = 0; level <= params_.Order(); ++level) {
+    digits[level] = static_cast<int>(
+        (row / weight_[level]) % static_cast<std::uint64_t>(params_.radices[level]));
+  }
+  return digits;
+}
+
+graph::NodeId GeneralAbccc::ServerAt(std::span<const int> digits, int role) const {
+  return ServerAtRow(DigitsToRow(digits), role);
+}
+
+graph::NodeId GeneralAbccc::ServerAtRow(std::uint64_t row, int role) const {
+  DCN_REQUIRE(row < params_.RowCount(), "row index out of range");
+  DCN_REQUIRE(role >= 0 && role < params_.RowLength(), "role out of range");
+  return static_cast<graph::NodeId>(
+      row * static_cast<std::uint64_t>(params_.RowLength()) +
+      static_cast<std::uint64_t>(role));
+}
+
+AbcccAddress GeneralAbccc::AddressOf(graph::NodeId server) const {
+  CheckServer(server);
+  const auto m = static_cast<std::uint64_t>(params_.RowLength());
+  const auto id = static_cast<std::uint64_t>(server);
+  return AbcccAddress{RowToDigits(id / m), static_cast<int>(id % m)};
+}
+
+std::uint64_t GeneralAbccc::RowOf(graph::NodeId server) const {
+  CheckServer(server);
+  return static_cast<std::uint64_t>(server) /
+         static_cast<std::uint64_t>(params_.RowLength());
+}
+
+graph::NodeId GeneralAbccc::CrossbarAt(std::uint64_t row) const {
+  DCN_REQUIRE(params_.HasCrossbars(), "this instance has no crossbars");
+  DCN_REQUIRE(row < params_.RowCount(), "row index out of range");
+  return static_cast<graph::NodeId>(crossbar_base_ + row);
+}
+
+graph::NodeId GeneralAbccc::LevelSwitchAt(int level,
+                                          std::span<const int> digits) const {
+  DCN_REQUIRE(level >= 0 && level <= params_.Order(), "level out of range");
+  // Mixed-radix index over the other digits: divide the row index's level-l
+  // component out.
+  const std::uint64_t row = DigitsToRow(digits);
+  const auto radix = static_cast<std::uint64_t>(params_.radices[level]);
+  const std::uint64_t below = row % weight_[level];
+  const std::uint64_t above = row / (weight_[level] * radix);
+  const std::uint64_t index = above * weight_[level] + below;
+  return static_cast<graph::NodeId>(level_switch_base_ + level_offset_[level] +
+                                    index);
+}
+
+bool GeneralAbccc::IsCrossbar(graph::NodeId node) const {
+  const auto id = static_cast<std::uint64_t>(node);
+  return id >= crossbar_base_ && id < level_switch_base_;
+}
+
+int GeneralAbccc::LevelOfSwitch(graph::NodeId node) const {
+  const auto id = static_cast<std::uint64_t>(node);
+  DCN_REQUIRE(id >= level_switch_base_ && id < Network().NodeCount(),
+              "node is not a level switch");
+  const std::uint64_t rel = id - level_switch_base_;
+  int level = params_.Order();
+  while (level > 0 && rel < level_offset_[level]) --level;
+  return level;
+}
+
+std::vector<graph::NodeId> GeneralAbccc::RouteWithLevelOrder(
+    graph::NodeId src, graph::NodeId dst, std::span<const int> level_order) const {
+  CheckServer(src);
+  CheckServer(dst);
+  const AbcccAddress from = AddressOf(src);
+  const AbcccAddress to = AddressOf(dst);
+
+  std::vector<bool> mentioned(static_cast<std::size_t>(params_.DigitCount()),
+                              false);
+  for (int level : level_order) {
+    DCN_REQUIRE(level >= 0 && level <= params_.Order(),
+                "level out of range in order");
+    DCN_REQUIRE(!mentioned[level], "duplicate level in order");
+    DCN_REQUIRE(from.digits[level] != to.digits[level],
+                "level order contains a non-differing level");
+    mentioned[level] = true;
+  }
+  DCN_REQUIRE(static_cast<int>(level_order.size()) ==
+                  HammingDistance(from.digits, to.digits),
+              "level order must cover every differing level");
+
+  std::vector<graph::NodeId> hops{src};
+  Digits digits = from.digits;
+  int role = from.role;
+  auto move_to_role = [&](int target_role) {
+    if (role == target_role) return;
+    const std::uint64_t row = DigitsToRow(digits);
+    hops.push_back(CrossbarAt(row));
+    hops.push_back(ServerAtRow(row, target_role));
+    role = target_role;
+  };
+  for (int level : level_order) {
+    move_to_role(params_.AgentRole(level));
+    hops.push_back(LevelSwitchAt(level, digits));
+    digits[level] = to.digits[level];
+    hops.push_back(ServerAt(digits, role));
+  }
+  move_to_role(to.role);
+  DCN_ASSERT(hops.back() == dst);
+  return hops;
+}
+
+std::vector<int> GeneralAbccc::DefaultLevelOrder(const AbcccAddress& src,
+                                                 const AbcccAddress& dst) const {
+  // Same grouped rotation as Abccc::DefaultLevelOrder (see there for why).
+  std::vector<int> differing;
+  for (int level = 0; level <= params_.Order(); ++level) {
+    if (src.digits[level] != dst.digits[level]) differing.push_back(level);
+  }
+  std::vector<int> order;
+  order.reserve(differing.size());
+  auto role_of = [&](int level) { return params_.AgentRole(level); };
+  for (int level : differing) {
+    if (role_of(level) == src.role) order.push_back(level);
+  }
+  for (int level : differing) {
+    const int r = role_of(level);
+    if (r != src.role && (r != dst.role || dst.role == src.role)) {
+      order.push_back(level);
+    }
+  }
+  if (dst.role != src.role) {
+    for (int level : differing) {
+      if (role_of(level) == dst.role) order.push_back(level);
+    }
+  }
+  DCN_ASSERT(order.size() == differing.size());
+  return order;
+}
+
+std::string GeneralAbccc::Describe() const {
+  std::ostringstream out;
+  out << "GeneralABCCC(radices=[";
+  for (int level = params_.Order(); level >= 0; --level) {
+    out << params_.radices[level];
+    if (level > 0) out << ",";
+  }
+  out << "],c=" << params_.c << ")";
+  return out.str();
+}
+
+std::string GeneralAbccc::NodeLabel(graph::NodeId node) const {
+  DCN_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < Network().NodeCount(),
+              "node id out of range");
+  const auto id = static_cast<std::uint64_t>(node);
+  std::ostringstream out;
+  const int max_radix =
+      *std::max_element(params_.radices.begin(), params_.radices.end());
+  if (id < server_total_) {
+    const AbcccAddress addr = AddressOf(node);
+    out << "<" << DigitsToString(addr.digits, std::max(2, max_radix)) << ";"
+        << addr.role << ">";
+  } else if (id < level_switch_base_) {
+    out << "X(" << DigitsToString(RowToDigits(id - crossbar_base_),
+                                  std::max(2, max_radix))
+        << ")";
+  } else {
+    // Find the level this switch belongs to.
+    const std::uint64_t rel = id - level_switch_base_;
+    int level = params_.Order();
+    while (level > 0 && rel < level_offset_[level]) --level;
+    out << "S" << level << "(#" << rel - level_offset_[level] << ")";
+  }
+  return out.str();
+}
+
+std::vector<graph::NodeId> GeneralAbccc::Route(graph::NodeId src,
+                                               graph::NodeId dst) const {
+  return RouteWithLevelOrder(src, dst,
+                             DefaultLevelOrder(AddressOf(src), AddressOf(dst)));
+}
+
+int GeneralAbccc::ServerPorts() const {
+  if (!params_.HasCrossbars()) return params_.DigitCount();
+  const auto [lo, hi] = params_.AgentLevels(0);
+  return 1 + (hi - lo + 1);
+}
+
+int GeneralAbccc::RouteLengthBound() const {
+  return 4 * params_.DigitCount() + 2;
+}
+
+double GeneralAbccc::TheoreticalBisection() const {
+  // Cut on the most significant digit.
+  const int k = params_.Order();
+  return static_cast<double>(params_.LevelSwitchCount(k)) *
+         static_cast<double>(params_.radices[k] / 2);
+}
+
+void GeneralAbccc::CheckServer(graph::NodeId node) const {
+  DCN_REQUIRE(node >= 0 && static_cast<std::uint64_t>(node) < server_total_,
+              "node is not a server of this GeneralABCCC network");
+}
+
+ExpansionStep PlanSliceExpansion(const GeneralAbcccParams& from, int level) {
+  from.Validate();
+  DCN_REQUIRE(level >= 0 && level <= from.Order(),
+              "slice expansion level out of range");
+  GeneralAbcccParams to = from;
+  ++to.radices[level];
+  to.Validate();
+
+  auto describe = [](const GeneralAbcccParams& params) {
+    std::ostringstream out;
+    out << "GeneralABCCC([";
+    for (int l = params.Order(); l >= 0; --l) {
+      out << params.radices[l];
+      if (l > 0) out << ",";
+    }
+    out << "],c=" << params.c << ")";
+    return out.str();
+  };
+
+  ExpansionStep step;
+  step.topology = "GeneralABCCC";
+  step.from = describe(from);
+  step.to = describe(to);
+  step.servers_before = from.ServerTotal();
+  step.servers_after = to.ServerTotal();
+  step.switches_before = from.CrossbarTotal() + from.LevelSwitchTotal();
+  step.switches_after = to.CrossbarTotal() + to.LevelSwitchTotal();
+  step.links_before = from.LinkTotal();
+  step.links_after = to.LinkTotal();
+  // New rows bring their own crossbars and switches; existing level-`level`
+  // switches each accept one new cable into a spare port.
+  step.existing_servers_modified = 0;
+  step.existing_switches_replaced = 0;
+  step.existing_links_recabled = 0;
+  step.crossbar_ports_consumed = from.LevelSwitchCount(level);
+  return step;
+}
+
+bool VerifySliceExpansion(const GeneralAbccc& before, const GeneralAbccc& after) {
+  const GeneralAbcccParams& small = before.Params();
+  const GeneralAbcccParams& big = after.Params();
+  if (small.c != big.c) return false;
+  if (small.radices.size() != big.radices.size()) return false;
+  int grown_levels = 0;
+  for (std::size_t level = 0; level < small.radices.size(); ++level) {
+    if (big.radices[level] < small.radices[level]) return false;
+    if (big.radices[level] > small.radices[level]) ++grown_levels;
+  }
+  if (grown_levels == 0) return true;  // identical networks embed trivially
+
+  const graph::Graph& net = after.Network();
+  for (const graph::NodeId server : before.Servers()) {
+    const AbcccAddress addr = before.AddressOf(server);
+    const graph::NodeId mapped = after.ServerAt(addr.digits, addr.role);
+    if (small.HasCrossbars()) {
+      if (!net.Adjacent(mapped, after.CrossbarAt(after.RowOf(mapped)))) {
+        return false;
+      }
+    }
+    const auto [lo, hi] = small.AgentLevels(addr.role);
+    for (int level = lo; level <= hi; ++level) {
+      if (!net.Adjacent(mapped, after.LevelSwitchAt(level, addr.digits))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dcn::topo

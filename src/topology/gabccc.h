@@ -1,0 +1,116 @@
+// Generalized ABCCC with per-level radices (mixed-radix digits).
+//
+// The uniform ABCCC(n, k, c) jumps n-fold in size per order step. Real
+// deployments grow in slices: after cabling the new level's switches, new
+// rows arrive one top-digit value at a time. A mixed-radix instance with
+// radices [n, ..., n, r] (top digit base r <= n) is exactly such a partial
+// deployment — and more generally, per-level radices let a design mix switch
+// models (say 48-port level-0 switches with 16-port upper levels), the
+// "versatile" knob of the journal version. Construction, addressing, and
+// digit-fixing routing all generalize verbatim; only the digit arithmetic
+// changes. GeneralAbccc{[n]*(k+1), c} is graph-identical to Abccc{n, k, c}
+// (tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/abccc.h"      // AbcccAddress
+#include "topology/address.h"
+#include "topology/expansion.h"  // ExpansionStep
+#include "topology/topology.h"
+
+namespace dcn::topo {
+
+struct GeneralAbcccParams {
+  // radices[l] is the base of digit l (= the radix of level-l switches),
+  // little-endian like Digits. size() = k+1 >= 1, each radix >= 2.
+  std::vector<int> radices;
+  int c = 2;  // NIC ports per server
+
+  void Validate() const;
+
+  int Order() const { return static_cast<int>(radices.size()) - 1; }  // k
+  int DigitCount() const { return static_cast<int>(radices.size()); }
+  int LevelRadix(int level) const {
+    DCN_REQUIRE(level >= 0 && level <= Order(), "level out of range");
+    return radices[level];
+  }
+  int RowLength() const;  // m = ceil((k+1)/(c-1))
+  bool HasCrossbars() const { return RowLength() >= 2; }
+  int AgentRole(int level) const { return level / (c - 1); }
+  std::pair<int, int> AgentLevels(int role) const;
+
+  std::uint64_t RowCount() const;  // product of radices
+  std::uint64_t ServerTotal() const;
+  std::uint64_t CrossbarTotal() const;
+  // Level-l switches: product of the other radices.
+  std::uint64_t LevelSwitchCount(int level) const;
+  std::uint64_t LevelSwitchTotal() const;
+  std::uint64_t LinkTotal() const;
+};
+
+class GeneralAbccc final : public Topology {
+ public:
+  explicit GeneralAbccc(GeneralAbcccParams params);
+
+  const GeneralAbcccParams& Params() const { return params_; }
+
+  // -- Address <-> node id --------------------------------------------------
+  graph::NodeId ServerAt(std::span<const int> digits, int role) const;
+  graph::NodeId ServerAtRow(std::uint64_t row, int role) const;
+  AbcccAddress AddressOf(graph::NodeId server) const;
+  std::uint64_t RowOf(graph::NodeId server) const;
+  graph::NodeId CrossbarAt(std::uint64_t row) const;
+  graph::NodeId LevelSwitchAt(int level, std::span<const int> digits) const;
+  bool IsCrossbar(graph::NodeId node) const;
+  int LevelOfSwitch(graph::NodeId node) const;
+
+  // Mixed-radix digit <-> row index conversions (exposed for tests).
+  std::uint64_t DigitsToRow(std::span<const int> digits) const;
+  Digits RowToDigits(std::uint64_t row) const;
+
+  // -- Routing ---------------------------------------------------------------
+  std::vector<graph::NodeId> RouteWithLevelOrder(
+      graph::NodeId src, graph::NodeId dst,
+      std::span<const int> level_order) const;
+  std::vector<int> DefaultLevelOrder(const AbcccAddress& src,
+                                     const AbcccAddress& dst) const;
+
+  // -- Topology interface -----------------------------------------------
+  std::string Name() const override { return "GeneralABCCC"; }
+  std::string Describe() const override;
+  std::string NodeLabel(graph::NodeId node) const override;
+  std::vector<graph::NodeId> Route(graph::NodeId src,
+                                   graph::NodeId dst) const override;
+  int ServerPorts() const override;
+  int RouteLengthBound() const override;
+  double TheoreticalBisection() const override;
+
+ private:
+  void Build();
+  void CheckServer(graph::NodeId node) const;
+
+  GeneralAbcccParams params_;
+  std::uint64_t server_total_ = 0;
+  std::uint64_t crossbar_base_ = 0;
+  std::uint64_t level_switch_base_ = 0;
+  std::vector<std::uint64_t> level_offset_;  // per level, within switch block
+  // Mixed-radix weights: weight_[l] = product of radices below l.
+  std::vector<std::uint64_t> weight_;
+};
+
+// Slice expansion: raise one level's radix by one (add a slice of rows plus
+// that level's extra switch ports — modeled like crossbars as spare ports on
+// switches purchased at target radix). Existing hardware is untouched.
+ExpansionStep PlanSliceExpansion(const GeneralAbcccParams& from, int level);
+
+// Embedding check mirroring VerifyAbcccExpansion: `before` must equal
+// `after` except for one level's smaller radix; verifies every existing link
+// survives under the identity address embedding.
+bool VerifySliceExpansion(const GeneralAbccc& before, const GeneralAbccc& after);
+
+}  // namespace dcn::topo

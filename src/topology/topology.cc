@@ -1,0 +1,21 @@
+#include "topology/topology.h"
+
+#include "common/error.h"
+
+namespace dcn::topo {
+
+std::pair<std::vector<graph::NodeId>, std::vector<graph::NodeId>>
+Topology::BisectionHalves() const {
+  // Default: first half vs second half in server-id order. Cube topologies
+  // override nothing further because their server ids are digit-ordered, so
+  // this split is exactly "most significant digit < base/2" when the digit
+  // base is even, the cut the literature quotes bisection for.
+  const auto servers = Servers();
+  DCN_REQUIRE(servers.size() >= 2, "bisection needs at least two servers");
+  const std::size_t half = servers.size() / 2;
+  std::vector<graph::NodeId> a(servers.begin(), servers.begin() + half);
+  std::vector<graph::NodeId> b(servers.begin() + half, servers.end());
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace dcn::topo

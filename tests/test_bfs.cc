@@ -1,0 +1,133 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dcn::graph {
+namespace {
+
+// Path graph: 0 - 1 - 2 - 3 (all servers).
+Graph MakePath(int nodes) {
+  Graph g;
+  for (int i = 0; i < nodes; ++i) g.AddNode(NodeKind::kServer);
+  for (int i = 0; i + 1 < nodes; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  const Graph g = MakePath(5);
+  const std::vector<int> dist = BfsDistances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsTest, UnreachableComponent) {
+  Graph g = MakePath(3);
+  g.AddNode(NodeKind::kServer);  // isolated node 3
+  const std::vector<int> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsTest, FailedEdgeForcesDetour) {
+  // Cycle 0-1-2-3-0; killing edge 0-1 makes dist(0,1) = 3.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(NodeKind::kServer);
+  const EdgeId e01 = g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  FailureSet failures{g};
+  failures.KillEdge(e01);
+  const std::vector<int> dist = BfsDistances(g, 0, &failures);
+  EXPECT_EQ(dist[1], 3);
+}
+
+TEST(BfsTest, DeadSourceSeesNothing) {
+  const Graph g = MakePath(3);
+  FailureSet failures{g};
+  failures.KillNode(0);
+  const std::vector<int> dist = BfsDistances(g, 0, &failures);
+  for (int d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(BfsTest, DeadRelayBlocksTraffic) {
+  const Graph g = MakePath(3);
+  FailureSet failures{g};
+  failures.KillNode(1);
+  const std::vector<int> dist = BfsDistances(g, 0, &failures);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], kUnreachable);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(ShortestPathTest, FindsAShortestPath) {
+  const Graph g = MakePath(4);
+  const std::vector<NodeId> path = ShortestPath(g, 0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 3);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.Adjacent(path[i], path[i + 1]));
+  }
+}
+
+TEST(ShortestPathTest, TrivialAndImpossibleCases) {
+  const Graph g = MakePath(3);
+  EXPECT_EQ(ShortestPath(g, 1, 1), std::vector<NodeId>{1});
+  Graph h = MakePath(2);
+  h.AddNode(NodeKind::kServer);
+  EXPECT_TRUE(ShortestPath(h, 0, 2).empty());
+  FailureSet failures{g};
+  failures.KillNode(2);
+  EXPECT_TRUE(ShortestPath(g, 0, 2, &failures).empty());
+}
+
+TEST(ShortestPathTest, PathLengthMatchesBfsDistance) {
+  // Grid-ish graph with shortcuts.
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 5);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(1, 4);
+  const std::vector<int> dist = BfsDistances(g, 0);
+  for (NodeId target = 0; target < 6; ++target) {
+    const std::vector<NodeId> path = ShortestPath(g, 0, target);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, dist[target]);
+  }
+}
+
+TEST(ConnectivityTest, ReachableCountAndIsConnected) {
+  Graph g = MakePath(4);
+  EXPECT_EQ(ReachableCount(g, 0), 4u);
+  EXPECT_TRUE(IsConnected(g));
+  g.AddNode(NodeKind::kServer);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ConnectivityTest, FailuresSplitTheGraph) {
+  const Graph g = MakePath(5);
+  FailureSet failures{g};
+  failures.KillNode(2);
+  EXPECT_FALSE(IsConnected(g, &failures));
+  EXPECT_EQ(ReachableCount(g, 0, &failures), 2u);
+}
+
+TEST(ConnectivityTest, EmptyAndSingletonGraphsAreConnected) {
+  Graph g;
+  EXPECT_TRUE(IsConnected(g));
+  g.AddNode(NodeKind::kServer);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(BfsTest, SourceOutOfRangeThrows) {
+  const Graph g = MakePath(2);
+  EXPECT_THROW(BfsDistances(g, 7), InvalidArgument);
+  EXPECT_THROW(ShortestPath(g, 0, 7), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcn::graph

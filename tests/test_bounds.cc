@@ -1,0 +1,91 @@
+#include "metrics/throughput_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "metrics/bisection.h"
+#include "sim/flowsim.h"
+#include "sim/traffic.h"
+#include "topology/abccc.h"
+#include "topology/fattree.h"
+
+namespace dcn::metrics {
+namespace {
+
+using topo::Abccc;
+using topo::AbcccParams;
+
+std::vector<routing::Route> PermutationRoutes(const topo::Topology& net,
+                                              dcn::Rng& rng) {
+  std::vector<routing::Route> routes;
+  for (const sim::Flow& flow : sim::PermutationTraffic(net, rng)) {
+    routes.push_back(routing::Route{net.Route(flow.src, flow.dst)});
+  }
+  return routes;
+}
+
+TEST(ThroughputBoundsTest, HandComputedTinyCase) {
+  // One 2-link route in ABCCC(2,0,2): 2 servers, 1 switch, 2 links.
+  const Abccc net{AbcccParams{2, 0, 2}};
+  const std::vector<routing::Route> routes{routing::Route{net.Route(0, 1)}};
+  const ThroughputBounds bounds = ComputeBounds(net, routes, 2);
+  // 2 links * 2 directions / mean length 2 = 2.
+  EXPECT_DOUBLE_EQ(bounds.link_capacity_bound, 2.0);
+  // 1 flow * 1 port (ServerPorts of the degenerate m=1 net is k+1 = 1).
+  EXPECT_DOUBLE_EQ(bounds.nic_bound, 1.0);
+  EXPECT_DOUBLE_EQ(bounds.bisection_bound, 4.0);
+}
+
+TEST(ThroughputBoundsTest, MeasuredThroughputRespectsEveryBound) {
+  for (int c : {2, 3}) {
+    const Abccc net{AbcccParams{4, 2, c}};
+    dcn::Rng rng{11};
+    const std::vector<routing::Route> routes = PermutationRoutes(net, rng);
+    const sim::FlowSimResult result = sim::MaxMinFairRates(net.Network(), routes);
+    const ThroughputBounds bounds =
+        ComputeBounds(net, routes, MeasureBisection(net));
+    EXPECT_LE(result.aggregate, bounds.link_capacity_bound + 1e-9) << "c=" << c;
+    EXPECT_LE(result.aggregate, bounds.nic_bound + 1e-9) << "c=" << c;
+    // Routing achieves a sane fraction of the fluid optimum.
+    EXPECT_GT(result.aggregate, 0.2 * bounds.link_capacity_bound) << "c=" << c;
+  }
+}
+
+TEST(ThroughputBoundsTest, BisectionBoundBindsBisectionTraffic) {
+  const topo::FatTree net{8};
+  dcn::Rng rng{13};
+  std::vector<routing::Route> routes;
+  for (const sim::Flow& flow : sim::BisectionTraffic(net, rng)) {
+    routes.push_back(routing::Route{net.Route(flow.src, flow.dst)});
+  }
+  const std::int64_t cut = MeasureBisection(net);
+  const sim::FlowSimResult result = sim::MaxMinFairRates(net.Network(), routes);
+  const ThroughputBounds bounds = ComputeBounds(net, routes, cut);
+  EXPECT_LE(result.aggregate, bounds.bisection_bound + 1e-9);
+  EXPECT_GT(result.aggregate, 0.4 * bounds.bisection_bound);
+}
+
+TEST(ThroughputBoundsTest, EmptyAndDegenerateInputs) {
+  const Abccc net{AbcccParams{2, 0, 2}};
+  const ThroughputBounds none = ComputeBounds(net, {}, 1);
+  EXPECT_DOUBLE_EQ(none.link_capacity_bound, 0.0);
+  const ThroughputBounds empties =
+      ComputeBounds(net, {routing::Route{}, routing::Route{{0}}}, 1);
+  EXPECT_DOUBLE_EQ(empties.nic_bound, 0.0);
+  EXPECT_THROW(ComputeBounds(net, {}, 1, 0.0), dcn::InvalidArgument);
+}
+
+TEST(ThroughputBoundsTest, CapacityScalesBounds) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  dcn::Rng rng{15};
+  const std::vector<routing::Route> routes = PermutationRoutes(net, rng);
+  const ThroughputBounds one = ComputeBounds(net, routes, 8, 1.0);
+  const ThroughputBounds ten = ComputeBounds(net, routes, 8, 10.0);
+  EXPECT_NEAR(ten.link_capacity_bound, 10.0 * one.link_capacity_bound, 1e-9);
+  EXPECT_NEAR(ten.nic_bound, 10.0 * one.nic_bound, 1e-9);
+  EXPECT_NEAR(ten.bisection_bound, 10.0 * one.bisection_bound, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcn::metrics

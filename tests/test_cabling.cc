@@ -1,0 +1,120 @@
+#include "topology/cabling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "topology/abccc.h"
+#include "topology/bcube.h"
+#include "topology/fattree.h"
+
+namespace dcn::topo {
+namespace {
+
+TEST(CablingOptionsTest, Validation) {
+  CablingOptions options;
+  EXPECT_NO_THROW(options.Validate());
+  options.servers_per_rack = 0;
+  EXPECT_THROW(options.Validate(), dcn::InvalidArgument);
+  options = CablingOptions{};
+  options.slack_factor = 0.5;
+  EXPECT_THROW(options.Validate(), dcn::InvalidArgument);
+  options = CablingOptions{};
+  options.rack_pitch_m = 0;
+  EXPECT_THROW(options.Validate(), dcn::InvalidArgument);
+}
+
+TEST(AssignRacksTest, ServersFillRacksInIdOrder) {
+  const Abccc net{AbcccParams{4, 1, 2}};  // 32 servers
+  CablingOptions options;
+  options.servers_per_rack = 10;
+  const std::vector<std::size_t> rack = AssignRacks(net, options);
+  EXPECT_EQ(rack[0], 0u);
+  EXPECT_EQ(rack[9], 0u);
+  EXPECT_EQ(rack[10], 1u);
+  EXPECT_EQ(rack[29], 2u);
+  EXPECT_EQ(rack[31], 3u);
+}
+
+TEST(AssignRacksTest, CrossbarJoinsItsRowsRack) {
+  const Abccc net{AbcccParams{4, 1, 2}};  // rows of 2 servers
+  CablingOptions options;
+  options.servers_per_rack = 10;
+  const std::vector<std::size_t> rack = AssignRacks(net, options);
+  // Row 0 (servers 0,1) lives in rack 0; its crossbar must too.
+  EXPECT_EQ(rack[net.CrossbarAt(0)], 0u);
+  // Row 5 (servers 10,11) lives in rack 1.
+  EXPECT_EQ(rack[net.CrossbarAt(5)], 1u);
+}
+
+TEST(AssignRacksTest, TieGoesToLowestRack) {
+  const Bcube net{BcubeParams{2, 0}};  // servers 0,1 + one switch
+  CablingOptions options;
+  options.servers_per_rack = 1;  // server 0 -> rack 0, server 1 -> rack 1
+  const std::vector<std::size_t> rack = AssignRacks(net, options);
+  EXPECT_EQ(rack[2], 0u);  // 1-1 vote tie resolves low
+}
+
+TEST(PlanCablingTest, FullyLocalDeployment) {
+  // ABCCC(2,0,2): two servers and one level switch, all in rack 0.
+  const Abccc net{AbcccParams{2, 0, 2}};
+  const CableBill bill = PlanCabling(net);
+  EXPECT_EQ(bill.cables, 2u);
+  EXPECT_EQ(bill.intra_rack, 2u);
+  EXPECT_EQ(bill.racks, 1u);
+  EXPECT_DOUBLE_EQ(bill.MeanLengthM(), 2.0);
+  EXPECT_DOUBLE_EQ(bill.MaxLengthM(), 2.0);
+}
+
+TEST(PlanCablingTest, GridDistancesAreManhattanWithSlack) {
+  const Bcube net{BcubeParams{2, 0}};
+  CablingOptions options;
+  options.servers_per_rack = 1;  // racks: server0=0, server1=1, switch joins 0
+  const CableBill bill = PlanCabling(net, options);
+  ASSERT_EQ(bill.cables, 2u);
+  // server0-switch stays in rack 0.
+  EXPECT_DOUBLE_EQ(bill.lengths_m[0], 2.0);
+  // server1 (rack 1) to switch (rack 0): 2*2 + 1.5 * 1.2.
+  EXPECT_DOUBLE_EQ(bill.lengths_m[1], 2 * 2.0 + 1.5 * 1.2);
+
+  CablingOptions narrow = options;
+  narrow.racks_per_row = 1;  // racks stack vertically: row pitch applies
+  const CableBill tall = PlanCabling(net, narrow);
+  EXPECT_DOUBLE_EQ(tall.lengths_m[1], 2 * 2.0 + 1.5 * 3.0);
+}
+
+TEST(PlanCablingTest, CountsAndStatsAreConsistent) {
+  const Abccc net{AbcccParams{4, 2, 2}};
+  const CableBill bill = PlanCabling(net);
+  EXPECT_EQ(bill.cables, net.LinkCount());
+  EXPECT_EQ(bill.lengths_m.size(), bill.cables);
+  double total = 0;
+  for (double length : bill.lengths_m) total += length;
+  EXPECT_NEAR(total, bill.total_m, 1e-9);
+  EXPECT_GE(bill.MaxLengthM(), bill.MeanLengthM());
+  EXPECT_GT(bill.intra_rack, 0u);
+  EXPECT_LT(bill.intra_rack, bill.cables);  // level-2 links leave the rack
+}
+
+TEST(CableBillTest, TieredPricing) {
+  CableBill bill;
+  bill.cables = 3;
+  bill.lengths_m = {2.0, 6.9, 20.0};
+  bill.total_m = 28.9;
+  const CablePricing pricing;  // copper <= 7 m at $2/m; fiber $1/m + $120
+  EXPECT_EQ(bill.FiberCount(pricing), 1u);
+  EXPECT_DOUBLE_EQ(bill.CostUsd(pricing), 2.0 * 2 + 6.9 * 2 + (20.0 * 1 + 120.0));
+}
+
+TEST(CablingComparisonTest, RowLocalityKeepsMostAbcccCablesInRack) {
+  // The structural point the module exists to show: rows + crossbars are
+  // rack-local, so a majority of ABCCC's cables never leave a rack even
+  // though its level-k planes span the room.
+  const Abccc net{AbcccParams{4, 2, 2}};
+  const CableBill bill = PlanCabling(net);
+  const double local_fraction =
+      static_cast<double>(bill.intra_rack) / static_cast<double>(bill.cables);
+  EXPECT_GT(local_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace dcn::topo

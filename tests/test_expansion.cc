@@ -1,0 +1,113 @@
+#include "topology/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+
+namespace dcn::topo {
+namespace {
+
+TEST(ExpansionPlanTest, AbcccCountsMatchBuiltNetworks) {
+  const AbcccParams from{4, 1, 2};
+  const ExpansionStep step = PlanAbcccExpansion(from);
+  const Abccc before{from};
+  const Abccc after{AbcccParams{4, 2, 2}};
+  EXPECT_EQ(step.servers_before, before.ServerCount());
+  EXPECT_EQ(step.servers_after, after.ServerCount());
+  EXPECT_EQ(step.switches_before, before.SwitchCount());
+  EXPECT_EQ(step.switches_after, after.SwitchCount());
+  EXPECT_EQ(step.links_before, before.LinkCount());
+  EXPECT_EQ(step.links_after, after.LinkCount());
+  EXPECT_GT(step.ServersAdded(), 0u);
+  EXPECT_GT(step.LinksAdded(), 0u);
+}
+
+TEST(ExpansionPlanTest, AbcccIsZeroDisruption) {
+  for (int c : {2, 3, 4}) {
+    const ExpansionStep step = PlanAbcccExpansion(AbcccParams{4, 2, c});
+    EXPECT_EQ(step.DisruptionTotal(), 0u) << "c=" << c;
+    EXPECT_EQ(step.existing_servers_modified, 0u);
+    EXPECT_EQ(step.existing_switches_replaced, 0u);
+    EXPECT_EQ(step.existing_links_recabled, 0u);
+  }
+}
+
+TEST(ExpansionPlanTest, AbcccCrossbarPortsConsumedWhenRowGrows) {
+  // c=2: the row grows every step, consuming one crossbar port per old row.
+  const AbcccParams p2{4, 1, 2};
+  EXPECT_EQ(PlanAbcccExpansion(p2).crossbar_ports_consumed, p2.RowCount());
+  // c=4, k=1 -> m = ceil(2/3) = 1; k=2 -> m = 1: no row growth.
+  EXPECT_EQ(PlanAbcccExpansion(AbcccParams{4, 1, 4}).crossbar_ports_consumed, 0u);
+}
+
+TEST(ExpansionPlanTest, BcubeDisruptsEveryServer) {
+  const BcubeParams from{4, 2};
+  const ExpansionStep step = PlanBcubeExpansion(from);
+  EXPECT_EQ(step.existing_servers_modified, from.ServerTotal());
+  EXPECT_EQ(step.DisruptionTotal(), from.ServerTotal());
+  const BcubeParams expanded{4, 3};
+  EXPECT_EQ(step.servers_after, expanded.ServerTotal());
+}
+
+TEST(ExpansionPlanTest, DcellDisruptsEveryServer) {
+  const DcellParams from{4, 1};
+  const ExpansionStep step = PlanDcellExpansion(from);
+  EXPECT_EQ(step.existing_servers_modified, from.ServerTotal());
+  const DcellParams expanded{4, 2};
+  EXPECT_EQ(step.servers_after, expanded.ServerTotal());
+}
+
+TEST(ExpansionPlanTest, FatTreeReplacesTheFabric) {
+  const FatTreeParams from{4};
+  const ExpansionStep step = PlanFatTreeExpansion(from);
+  EXPECT_EQ(step.existing_switches_replaced, from.SwitchTotal());
+  EXPECT_EQ(step.existing_links_recabled, from.LinkTotal());
+  EXPECT_EQ(step.servers_after, FatTreeParams{6}.ServerTotal());
+  EXPECT_GT(step.DisruptionTotal(), 0u);
+}
+
+class AbcccEmbeddingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AbcccEmbeddingSweep, OldNetworkEmbedsInExpanded) {
+  const auto [n, k, c] = GetParam();
+  const Abccc before{AbcccParams{n, k, c}};
+  const Abccc after{AbcccParams{n, k + 1, c}};
+  EXPECT_TRUE(VerifyAbcccExpansion(before, after));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AbcccEmbeddingSweep,
+                         ::testing::Values(std::tuple{2, 0, 2}, std::tuple{2, 1, 2},
+                                           std::tuple{3, 1, 2}, std::tuple{3, 1, 3},
+                                           std::tuple{4, 1, 2}, std::tuple{4, 1, 3},
+                                           std::tuple{4, 2, 3}, std::tuple{5, 1, 4},
+                                           std::tuple{2, 2, 3}));
+
+TEST(ExpansionVerifyTest, RejectsMismatchedParameters) {
+  const Abccc a{AbcccParams{4, 1, 2}};
+  const Abccc b{AbcccParams{4, 3, 2}};  // k jumps by 2
+  EXPECT_FALSE(VerifyAbcccExpansion(a, b));
+  const Abccc c{AbcccParams{3, 2, 2}};  // different n
+  EXPECT_FALSE(VerifyAbcccExpansion(a, c));
+  const Abccc d{AbcccParams{4, 2, 3}};  // different c
+  EXPECT_FALSE(VerifyAbcccExpansion(a, d));
+}
+
+TEST(ExpansionPlanTest, InvalidParamsThrow) {
+  EXPECT_THROW(PlanAbcccExpansion(AbcccParams{1, 1, 2}), dcn::InvalidArgument);
+  EXPECT_THROW(PlanBcubeExpansion(BcubeParams{0, 1}), dcn::InvalidArgument);
+  EXPECT_THROW(PlanDcellExpansion(DcellParams{4, 4}), dcn::InvalidArgument);
+  EXPECT_THROW(PlanFatTreeExpansion(FatTreeParams{3}), dcn::InvalidArgument);
+}
+
+TEST(ExpansionPlanTest, StepDescriptionsNameBothConfigurations) {
+  const ExpansionStep step = PlanAbcccExpansion(AbcccParams{4, 1, 3});
+  EXPECT_EQ(step.from, "ABCCC(n=4,k=1,c=3)");
+  EXPECT_EQ(step.to, "ABCCC(n=4,k=2,c=3)");
+  EXPECT_EQ(step.topology, "ABCCC");
+}
+
+}  // namespace
+}  // namespace dcn::topo

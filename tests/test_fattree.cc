@@ -1,0 +1,125 @@
+#include "topology/fattree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "graph/bfs.h"
+#include "metrics/bisection.h"
+#include "routing/route.h"
+
+namespace dcn::topo {
+namespace {
+
+class FatTreeSweep : public ::testing::TestWithParam<int> {
+ protected:
+  FatTreeParams P() const { return FatTreeParams{GetParam()}; }
+};
+
+TEST_P(FatTreeSweep, CountsMatchFormulas) {
+  const FatTreeParams p = P();
+  const FatTree net{p};
+  EXPECT_EQ(net.ServerCount(), p.ServerTotal());
+  EXPECT_EQ(net.SwitchCount(), p.SwitchTotal());
+  EXPECT_EQ(net.LinkCount(), p.LinkTotal());
+}
+
+TEST_P(FatTreeSweep, EverySwitchHasRadixAtMostK) {
+  const FatTreeParams p = P();
+  const FatTree net{p};
+  const graph::Graph& g = net.Network();
+  for (graph::NodeId node = 0; static_cast<std::size_t>(node) < g.NodeCount();
+       ++node) {
+    if (g.IsSwitch(node)) {
+      EXPECT_LE(g.Degree(node), static_cast<std::size_t>(p.k));
+    } else {
+      EXPECT_EQ(g.Degree(node), 1u);  // single NIC
+    }
+  }
+}
+
+TEST_P(FatTreeSweep, RoutesValidWithUpDownLengths) {
+  const FatTree net{P()};
+  dcn::Rng rng{88};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 80; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    if (src == dst) continue;
+    const routing::Route route{net.Route(src, dst)};
+    EXPECT_EQ(routing::ValidateRoute(net.Network(), route), "");
+    const std::size_t links = route.LinkCount();
+    EXPECT_TRUE(links == 2 || links == 4 || links == 6) << links;
+    if (net.PodOf(src) != net.PodOf(dst)) {
+      EXPECT_EQ(links, 6u);
+    }
+  }
+}
+
+TEST_P(FatTreeSweep, ConnectedWithDiameterSix) {
+  const FatTree net{P()};
+  EXPECT_TRUE(graph::IsConnected(net.Network()));
+  const std::vector<int> dist = graph::BfsDistances(net.Network(), 0);
+  int ecc = 0;
+  for (const graph::NodeId server : net.Servers()) {
+    ecc = std::max(ecc, dist[server]);
+  }
+  EXPECT_EQ(ecc, 6);
+}
+
+TEST_P(FatTreeSweep, FullBisection) {
+  const FatTree net{P()};
+  // Measured min cut between pod halves equals N/2 links.
+  EXPECT_EQ(metrics::MeasureBisection(net),
+            static_cast<std::int64_t>(net.ServerCount() / 2));
+  EXPECT_DOUBLE_EQ(net.TheoreticalBisection(),
+                   static_cast<double>(net.ServerCount()) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FatTreeSweep, ::testing::Values(2, 4, 6, 8));
+
+TEST(FatTreeTest, AddressingHelpers) {
+  const FatTree net{FatTreeParams{4}};
+  const graph::NodeId server = net.ServerIdOf(2, 1, 0);
+  EXPECT_EQ(net.PodOf(server), 2);
+  EXPECT_EQ(net.EdgeIndexOf(server), 1);
+  EXPECT_EQ(net.HostIndexOf(server), 0);
+  EXPECT_TRUE(net.Network().Adjacent(server, net.EdgeSwitch(2, 1)));
+  EXPECT_THROW(net.ServerIdOf(4, 0, 0), dcn::InvalidArgument);
+  EXPECT_THROW(net.CoreSwitch(4), dcn::InvalidArgument);
+}
+
+TEST(FatTreeTest, SameEdgeRouteIsTwoLinks) {
+  const FatTree net{FatTreeParams{4}};
+  const routing::Route route{
+      net.Route(net.ServerIdOf(0, 0, 0), net.ServerIdOf(0, 0, 1))};
+  ASSERT_EQ(route.LinkCount(), 2u);
+  EXPECT_EQ(route.hops[1], net.EdgeSwitch(0, 0));
+}
+
+TEST(FatTreeTest, SamePodRouteIsFourLinks) {
+  const FatTree net{FatTreeParams{4}};
+  const routing::Route route{
+      net.Route(net.ServerIdOf(1, 0, 0), net.ServerIdOf(1, 1, 1))};
+  EXPECT_EQ(route.LinkCount(), 4u);
+}
+
+TEST(FatTreeTest, OddRadixRejected) {
+  EXPECT_THROW((FatTree{FatTreeParams{3}}), dcn::InvalidArgument);
+  EXPECT_THROW((FatTree{FatTreeParams{0}}), dcn::InvalidArgument);
+}
+
+TEST(FatTreeTest, LabelsAndDescribe) {
+  const FatTree net{FatTreeParams{4}};
+  EXPECT_EQ(net.Describe(), "FatTree(k=4)");
+  EXPECT_EQ(net.NodeLabel(net.ServerIdOf(1, 0, 1)), "h(1,0,1)");
+  EXPECT_EQ(net.NodeLabel(net.EdgeSwitch(0, 1)), "edge(0,1)");
+  EXPECT_EQ(net.NodeLabel(net.AggSwitch(2, 0)), "agg(2,0)");
+  EXPECT_EQ(net.NodeLabel(net.CoreSwitch(3)), "core(3)");
+  EXPECT_EQ(net.ServerPorts(), 1);
+}
+
+}  // namespace
+}  // namespace dcn::topo

@@ -1,0 +1,173 @@
+#include "routing/fault_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "graph/bfs.h"
+#include "routing/route.h"
+#include "sim/failures.h"
+#include "topology/abccc.h"
+
+namespace dcn::routing {
+namespace {
+
+using topo::Abccc;
+using topo::AbcccParams;
+using topo::Digits;
+
+TEST(FaultRoutingTest, NoFailuresBehavesLikeNormalRouting) {
+  const Abccc net{AbcccParams{4, 2, 2}};
+  graph::FailureSet failures{net.Network()};
+  dcn::Rng rng{1};
+  FaultRoutingStats stats;
+  const Route route = AbcccFaultTolerantRoute(net, 3, 150, failures, rng, {}, &stats);
+  ASSERT_FALSE(route.Empty());
+  EXPECT_EQ(route.Src(), 3);
+  EXPECT_EQ(route.Dst(), 150);
+  EXPECT_EQ(ValidateRoute(net.Network(), route, &failures), "");
+  EXPECT_FALSE(stats.used_fallback);
+  EXPECT_EQ(stats.plane_detours, 0);
+}
+
+TEST(FaultRoutingTest, DeadEndpointsGiveEmptyRoute) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  graph::FailureSet failures{net.Network()};
+  failures.KillNode(0);
+  dcn::Rng rng{2};
+  EXPECT_TRUE(AbcccFaultTolerantRoute(net, 0, 5, failures, rng).Empty());
+  EXPECT_TRUE(AbcccFaultTolerantRoute(net, 5, 0, failures, rng).Empty());
+}
+
+TEST(FaultRoutingTest, SelfRouteSurvivesAnything) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  graph::FailureSet failures{net.Network()};
+  dcn::Rng rng{3};
+  const Route route = AbcccFaultTolerantRoute(net, 7, 7, failures, rng);
+  ASSERT_EQ(route.hops.size(), 1u);
+}
+
+TEST(FaultRoutingTest, RoutesAroundADeadLevelSwitch) {
+  const AbcccParams p{4, 2, 2};
+  const Abccc net{p};
+  const graph::NodeId src = net.ServerAt(Digits{0, 0, 0}, 0);
+  const graph::NodeId dst = net.ServerAt(Digits{3, 0, 0}, 0);
+  // Kill the level-0 switch the direct correction would use.
+  graph::FailureSet failures{net.Network()};
+  const graph::NodeId sw = net.LevelSwitchAt(0, Digits{0, 0, 0});
+  failures.KillNode(sw);
+  dcn::Rng rng{4};
+  FaultRoutingStats stats;
+  FaultRoutingOptions options;
+  options.allow_bfs_fallback = false;  // force the structured repair
+  const Route route =
+      AbcccFaultTolerantRoute(net, src, dst, failures, rng, options, &stats);
+  ASSERT_FALSE(route.Empty());
+  EXPECT_EQ(ValidateRoute(net.Network(), route, &failures), "");
+  EXPECT_GT(stats.plane_detours, 0);
+  for (graph::NodeId hop : route.hops) EXPECT_NE(hop, sw);
+}
+
+TEST(FaultRoutingTest, PostponeReordersAroundDeadAgent) {
+  const AbcccParams p{4, 2, 2};
+  const Abccc net{p};
+  // src role 0, needs digits 0 and 2 fixed; the agent of level 2 in the
+  // source row is dead, so level 0 must be fixed first (leaving the row),
+  // reaching level 2's agent in another row.
+  const graph::NodeId src = net.ServerAt(Digits{0, 0, 0}, 0);
+  const graph::NodeId dst = net.ServerAt(Digits{1, 0, 1}, 0);
+  graph::FailureSet failures{net.Network()};
+  failures.KillNode(net.ServerAt(Digits{0, 0, 0}, 2));
+  dcn::Rng rng{5};
+  FaultRoutingStats stats;
+  FaultRoutingOptions options;
+  options.allow_bfs_fallback = false;
+  const Route route =
+      AbcccFaultTolerantRoute(net, src, dst, failures, rng, options, &stats);
+  ASSERT_FALSE(route.Empty());
+  EXPECT_EQ(ValidateRoute(net.Network(), route, &failures), "");
+}
+
+class FaultSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+// Property: with BFS fallback enabled, fault-tolerant routing succeeds if and
+// only if the destination is reachable, and every produced route is walkable
+// under the failure set.
+TEST_P(FaultSweep, SucceedsExactlyWhenReachable) {
+  const auto [server_f, switch_f, link_f] = GetParam();
+  const Abccc net{AbcccParams{3, 2, 2}};
+  dcn::Rng fail_rng{97};
+  const graph::FailureSet failures =
+      sim::RandomFailures(net, server_f, switch_f, link_f, fail_rng);
+  dcn::Rng rng{98};
+  const auto servers = net.Servers();
+  int produced = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    if (src == dst) continue;
+    const Route route = AbcccFaultTolerantRoute(net, src, dst, failures, rng);
+    const bool reachable =
+        !graph::ShortestPath(net.Network(), src, dst, &failures).empty();
+    EXPECT_EQ(!route.Empty(), reachable) << src << "->" << dst;
+    if (!route.Empty()) {
+      EXPECT_EQ(ValidateRoute(net.Network(), route, &failures), "");
+      ++produced;
+    }
+  }
+  // At moderate failure rates most pairs stay connected; at the harshest
+  // point the network may be fully partitioned, which is also a valid
+  // outcome of the iff-property above.
+  if (server_f + switch_f + link_f <= 0.45) {
+    EXPECT_GT(produced, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, FaultSweep,
+    ::testing::Values(std::tuple{0.0, 0.05, 0.0}, std::tuple{0.05, 0.0, 0.0},
+                      std::tuple{0.0, 0.0, 0.05}, std::tuple{0.05, 0.05, 0.05},
+                      std::tuple{0.15, 0.15, 0.1}, std::tuple{0.3, 0.3, 0.2}));
+
+TEST(FaultRoutingTest, GreedyWithoutFallbackMayFailButNeverLies) {
+  const Abccc net{AbcccParams{3, 2, 2}};
+  dcn::Rng fail_rng{11};
+  const graph::FailureSet failures = sim::RandomFailures(net, 0.2, 0.2, 0.1, fail_rng);
+  dcn::Rng rng{12};
+  FaultRoutingOptions options;
+  options.allow_bfs_fallback = false;
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 60; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    if (src == dst) continue;
+    const Route route =
+        AbcccFaultTolerantRoute(net, src, dst, failures, rng, options);
+    if (!route.Empty()) {
+      EXPECT_EQ(ValidateRoute(net.Network(), route, &failures), "");
+      EXPECT_EQ(route.Src(), src);
+      EXPECT_EQ(route.Dst(), dst);
+    }
+  }
+}
+
+TEST(FaultRoutingTest, StatsCountDigitFixes) {
+  const Abccc net{AbcccParams{4, 2, 2}};
+  graph::FailureSet failures{net.Network()};
+  dcn::Rng rng{13};
+  FaultRoutingStats stats;
+  const graph::NodeId src = net.ServerAt(Digits{0, 0, 0}, 0);
+  const graph::NodeId dst = net.ServerAt(Digits{1, 2, 3}, 0);
+  const Route route =
+      AbcccFaultTolerantRoute(net, src, dst, failures, rng, {}, &stats);
+  ASSERT_FALSE(route.Empty());
+  EXPECT_EQ(stats.digit_fixes, 3);
+  EXPECT_EQ(stats.plane_detours, 0);
+}
+
+}  // namespace
+}  // namespace dcn::routing

@@ -1,0 +1,235 @@
+#include "sim/flowsim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/graph.h"
+#include "routing/route.h"
+
+namespace dcn::sim {
+namespace {
+
+using graph::Graph;
+using graph::NodeKind;
+using routing::Route;
+
+// 0 -e- 2(switch) -e- 1 and a separate pair 3 - 4.
+Graph MakeSharedRelay() {
+  Graph g;
+  g.AddNode(NodeKind::kServer);  // 0
+  g.AddNode(NodeKind::kServer);  // 1
+  g.AddNode(NodeKind::kSwitch);  // 2
+  g.AddNode(NodeKind::kServer);  // 3
+  g.AddNode(NodeKind::kServer);  // 4
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(3, 4);
+  return g;
+}
+
+TEST(FlowSimTest, LoneFlowGetsFullCapacity) {
+  const Graph g = MakeSharedRelay();
+  const FlowSimResult result = MaxMinFairRates(g, {Route{{0, 2, 1}}});
+  ASSERT_EQ(result.rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.aggregate, 1.0);
+  EXPECT_DOUBLE_EQ(result.abt, 1.0);
+}
+
+TEST(FlowSimTest, TwoFlowsShareABottleneckLink) {
+  // Both flows traverse the same 0->1 directed link.
+  Graph g2;
+  g2.AddNode(NodeKind::kServer);  // 0
+  g2.AddNode(NodeKind::kSwitch);  // 1
+  g2.AddNode(NodeKind::kServer);  // 2
+  g2.AddNode(NodeKind::kServer);  // 3
+  g2.AddEdge(0, 1);
+  g2.AddEdge(1, 2);
+  g2.AddEdge(1, 3);
+  const FlowSimResult result =
+      MaxMinFairRates(g2, {Route{{0, 1, 2}}, Route{{0, 1, 3}}});
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(result.rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(result.abt, 1.0);
+}
+
+TEST(FlowSimTest, OppositeDirectionsDoNotContend) {
+  // Full duplex: 0->1 and 1->0 each get full capacity.
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  const FlowSimResult result = MaxMinFairRates(g, {Route{{0, 1}}, Route{{1, 0}}});
+  EXPECT_DOUBLE_EQ(result.rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.rates[1], 1.0);
+}
+
+TEST(FlowSimTest, MaxMinIsNotJustEqualSplit) {
+  // Flows: A uses links L1+L2, B uses L1, C uses L2.
+  //   servers: 0,1,2,3 in a path 0-1-2-3 (all servers so they can relay).
+  // A: 0->3 (uses 0-1, 1-2, 2-3), B: 0->1, C: 2->3.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const FlowSimResult result = MaxMinFairRates(
+      g, {Route{{0, 1, 2, 3}}, Route{{0, 1}}, Route{{2, 3}}});
+  // A and B share 0-1 (and A and C share 2-3): A=B=C=0.5; middle link idle
+  // at 0.5. Max-min: A=0.5, B=0.5, C=0.5.
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(result.rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(result.rates[2], 0.5);
+}
+
+TEST(FlowSimTest, UnevenBottlenecksGiveUnevenRates) {
+  // B shares with A on one link; C rides an uncongested link: C gets 1.0.
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);  // shared by A and B
+  g.AddEdge(1, 2);  // A only
+  g.AddEdge(3, 4);  // C only
+  const FlowSimResult result =
+      MaxMinFairRates(g, {Route{{0, 1, 2}}, Route{{0, 1}}, Route{{3, 4}}});
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(result.rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(result.rates[2], 1.0);
+  EXPECT_DOUBLE_EQ(result.min_rate, 0.5);
+  EXPECT_DOUBLE_EQ(result.max_rate, 1.0);
+  EXPECT_DOUBLE_EQ(result.abt, 1.5);
+  EXPECT_NEAR(result.mean_rate, 2.0 / 3.0, 1e-12);
+}
+
+TEST(FlowSimTest, LinkCapacityScalesRates) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  const FlowSimResult result =
+      MaxMinFairRates(g, {Route{{0, 1}}, Route{{0, 1}}}, 10.0);
+  EXPECT_DOUBLE_EQ(result.rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(result.rates[1], 5.0);
+}
+
+TEST(FlowSimTest, EmptyRouteCountsAsZeroByDefault) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  const FlowSimResult with_zero = MaxMinFairRates(g, {Route{{0, 1}}, Route{}});
+  EXPECT_DOUBLE_EQ(with_zero.min_rate, 0.0);
+  EXPECT_DOUBLE_EQ(with_zero.abt, 0.0);
+  const FlowSimResult skipped =
+      MaxMinFairRates(g, {Route{{0, 1}}, Route{}}, 1.0, false);
+  EXPECT_DOUBLE_EQ(skipped.min_rate, 1.0);
+  EXPECT_DOUBLE_EQ(skipped.abt, 1.0);
+}
+
+TEST(FlowSimTest, SelfRouteIsUnconstrained) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  const FlowSimResult result = MaxMinFairRates(g, {Route{{0}}});
+  EXPECT_DOUBLE_EQ(result.rates[0], 1.0);
+}
+
+TEST(FlowSimTest, JainFairnessIndex) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);  // 0
+  g.AddNode(NodeKind::kServer);  // 1
+  g.AddNode(NodeKind::kServer);  // 2
+  g.AddNode(NodeKind::kServer);  // 3
+  g.AddEdge(0, 1);  // shared by A, B
+  g.AddEdge(2, 3);  // C alone
+  // A = B = 0.5, C = 1.0: Jain = (2)^2 / (3 * (0.25+0.25+1)) = 4/4.5.
+  const FlowSimResult result =
+      MaxMinFairRates(g, {Route{{0, 1}}, Route{{0, 1}}, Route{{2, 3}}});
+  EXPECT_NEAR(result.jain_fairness, 4.0 / 4.5, 1e-12);
+  // Equal rates => exactly 1.
+  const FlowSimResult equal = MaxMinFairRates(g, {Route{{0, 1}}, Route{{0, 1}}});
+  EXPECT_DOUBLE_EQ(equal.jain_fairness, 1.0);
+}
+
+TEST(FlowSimDemandTest, DemandCapsTheRate) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  const FlowSimResult result = MaxMinFairRatesWithDemands(
+      g, {Route{{0, 1}}}, {0.3});
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.3);
+}
+
+TEST(FlowSimDemandTest, SmallDemandReleasesShareToOthers) {
+  // Two flows share one link; one only wants 0.2, so the other gets 0.8.
+  Graph g;
+  g.AddNode(NodeKind::kServer);  // 0
+  g.AddNode(NodeKind::kSwitch);  // 1
+  g.AddNode(NodeKind::kServer);  // 2
+  g.AddNode(NodeKind::kServer);  // 3
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  const FlowSimResult result = MaxMinFairRatesWithDemands(
+      g, {Route{{0, 1, 2}}, Route{{0, 1, 3}}}, {0.2, 10.0});
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.2);
+  EXPECT_DOUBLE_EQ(result.rates[1], 0.8);
+}
+
+TEST(FlowSimDemandTest, HighDemandsReproduceUncappedResult) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  const std::vector<Route> routes{Route{{0, 1, 2, 3}}, Route{{0, 1}},
+                                  Route{{2, 3}}};
+  const FlowSimResult capped =
+      MaxMinFairRatesWithDemands(g, routes, {100.0, 100.0, 100.0});
+  const FlowSimResult uncapped = MaxMinFairRates(g, routes);
+  for (std::size_t f = 0; f < routes.size(); ++f) {
+    EXPECT_DOUBLE_EQ(capped.rates[f], uncapped.rates[f]);
+  }
+}
+
+TEST(FlowSimDemandTest, CascadingDemandFreezes) {
+  // Three flows on one link with demands 0.1, 0.2, 10: the two small ones
+  // freeze at their demands, the big one takes the remaining 0.7.
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  const std::vector<Route> routes{Route{{0, 1}}, Route{{0, 1}}, Route{{0, 1}}};
+  const FlowSimResult result =
+      MaxMinFairRatesWithDemands(g, routes, {0.1, 0.2, 10.0});
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.1);
+  EXPECT_DOUBLE_EQ(result.rates[1], 0.2);
+  EXPECT_NEAR(result.rates[2], 0.7, 1e-12);
+}
+
+TEST(FlowSimDemandTest, SelfRouteRespectsDemand) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  const FlowSimResult result =
+      MaxMinFairRatesWithDemands(g, {Route{{0}}}, {0.25});
+  EXPECT_DOUBLE_EQ(result.rates[0], 0.25);
+}
+
+TEST(FlowSimDemandTest, Preconditions) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  EXPECT_THROW(MaxMinFairRatesWithDemands(g, {Route{{0, 1}}}, {}),
+               dcn::InvalidArgument);
+  EXPECT_THROW(MaxMinFairRatesWithDemands(g, {Route{{0, 1}}}, {0.0}),
+               dcn::InvalidArgument);
+}
+
+TEST(FlowSimTest, InvalidCapacityThrows) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  EXPECT_THROW(MaxMinFairRates(g, {}, 0.0), dcn::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcn::sim

@@ -1,0 +1,156 @@
+#include "routing/forwarding.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "routing/route.h"
+
+namespace dcn::routing {
+namespace {
+
+using topo::Abccc;
+using topo::AbcccParams;
+using topo::Bcube;
+using topo::BcubeParams;
+using topo::Dcell;
+using topo::DcellParams;
+using topo::Digits;
+
+class AbcccForwardingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  AbcccParams P() const {
+    const auto [n, k, c] = GetParam();
+    return AbcccParams{n, k, c};
+  }
+};
+
+TEST_P(AbcccForwardingSweep, WalkReachesDestinationWithinBudget) {
+  const Abccc net{P()};
+  dcn::Rng rng{71};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 60; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    const Route route = AbcccForwardRoute(net, src, dst);
+    EXPECT_EQ(route.Src(), src);
+    EXPECT_EQ(route.Dst(), dst);
+    EXPECT_EQ(ValidateRoute(net.Network(), route), "");
+    EXPECT_LE(static_cast<int>(route.LinkCount()), net.RouteLengthBound());
+  }
+}
+
+// Memorylessness: truncating a forwarding walk at any intermediate server and
+// restarting forwarding from there reproduces the remaining suffix — packets
+// carry no path state, so this must hold exactly.
+TEST_P(AbcccForwardingSweep, SuffixOfWalkIsWalkFromIntermediate) {
+  const Abccc net{P()};
+  dcn::Rng rng{72};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    const Route route = AbcccForwardRoute(net, src, dst);
+    for (std::size_t i = 0; i < route.hops.size(); ++i) {
+      const graph::NodeId mid = route.hops[i];
+      if (!net.Network().IsServer(mid)) continue;
+      const Route suffix = AbcccForwardRoute(net, mid, dst);
+      ASSERT_EQ(suffix.hops.size(), route.hops.size() - i);
+      for (std::size_t j = 0; j < suffix.hops.size(); ++j) {
+        ASSERT_EQ(suffix.hops[j], route.hops[i + j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AbcccForwardingSweep,
+                         ::testing::Values(std::tuple{2, 1, 2}, std::tuple{3, 2, 2},
+                                           std::tuple{4, 1, 2}, std::tuple{4, 2, 3},
+                                           std::tuple{4, 2, 4}, std::tuple{5, 2, 3},
+                                           std::tuple{2, 4, 2}, std::tuple{3, 3, 3},
+                                           std::tuple{6, 2, 2}, std::tuple{4, 3, 2}));
+
+TEST(AbcccForwardingTest, SelfHopIsNullopt) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  EXPECT_FALSE(AbcccNextHop(net, 5, 5).has_value());
+  const Route route = AbcccForwardRoute(net, 5, 5);
+  EXPECT_EQ(route.hops.size(), 1u);
+}
+
+TEST(AbcccForwardingTest, OwnedLevelFixedWithoutCrossbar) {
+  const AbcccParams p{4, 2, 2};
+  const Abccc net{p};
+  // Server role 1 owns level 1; destination differs only there.
+  const graph::NodeId src = net.ServerAt(Digits{0, 0, 0}, 1);
+  const graph::NodeId dst = net.ServerAt(Digits{0, 2, 0}, 1);
+  const std::optional<ServerHop> hop = AbcccNextHop(net, src, dst);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->via_switch, net.LevelSwitchAt(1, Digits{0, 0, 0}));
+  EXPECT_EQ(hop->next_server, dst);
+}
+
+TEST(AbcccForwardingTest, UnownedLevelGoesThroughCrossbarFirst) {
+  const AbcccParams p{4, 2, 2};
+  const Abccc net{p};
+  const graph::NodeId src = net.ServerAt(Digits{0, 0, 0}, 0);
+  const graph::NodeId dst = net.ServerAt(Digits{0, 2, 0}, 0);  // level 1 differs
+  const std::optional<ServerHop> hop = AbcccNextHop(net, src, dst);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->via_switch, net.CrossbarAt(0));
+  EXPECT_EQ(hop->next_server, net.ServerAt(Digits{0, 0, 0}, 1));
+}
+
+TEST(BcubeForwardingTest, MatchesSourceRoutingExactly) {
+  const Bcube net{BcubeParams{4, 2}};
+  dcn::Rng rng{73};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 60; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    const Route forwarded = BcubeForwardRoute(net, src, dst);
+    const Route sourced{net.Route(src, dst)};
+    EXPECT_EQ(forwarded.hops, sourced.hops);
+  }
+}
+
+TEST(DcellForwardingTest, MatchesSourceRoutingExactly) {
+  const Dcell net{DcellParams{4, 2}};
+  dcn::Rng rng{74};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 40; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    const Route forwarded = DcellForwardRoute(net, src, dst);
+    const Route sourced{net.Route(src, dst)};
+    EXPECT_EQ(forwarded.hops, sourced.hops);
+  }
+}
+
+TEST(DcellForwardingTest, DirectLinkHopHasNoSwitch) {
+  const Dcell net{DcellParams{4, 1}};
+  // Servers 0 and 4 are joined by a level-1 server-server link.
+  const std::optional<ServerHop> hop = DcellNextHop(net, 0, 4);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->via_switch, graph::kInvalidNode);
+  EXPECT_EQ(hop->next_server, 4);
+}
+
+TEST(ForwardWalkTest, BudgetViolationThrows) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  // An adversarial rule that never makes progress: bounce between the first
+  // two row members forever.
+  auto bad_rule = [&](graph::NodeId at,
+                      graph::NodeId) -> std::optional<ServerHop> {
+    const int role = net.AddressOf(at).role;
+    return ServerHop{net.CrossbarAt(net.RowOf(at)),
+                     net.ServerAtRow(net.RowOf(at), role == 0 ? 1 : 0)};
+  };
+  EXPECT_THROW(ForwardWalk(net.Servers()[0], net.Servers()[5], bad_rule, 20),
+               dcn::FailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dcn::routing

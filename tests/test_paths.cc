@@ -1,0 +1,132 @@
+#include "graph/paths.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/error.h"
+#include "graph/bfs.h"
+
+namespace dcn::graph {
+namespace {
+
+// Checks that each path is a real src..dst walk and that no link is shared.
+void CheckDisjointPaths(const Graph& g, NodeId src, NodeId dst,
+                        const std::vector<std::vector<NodeId>>& paths) {
+  std::set<std::pair<NodeId, NodeId>> used;  // normalized endpoints
+  for (const auto& path : paths) {
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), src);
+    EXPECT_EQ(path.back(), dst);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      ASSERT_TRUE(g.Adjacent(path[i], path[i + 1]))
+          << path[i] << " -> " << path[i + 1];
+      auto key = std::minmax(path[i], path[i + 1]);
+      // No parallel edges in these fixtures, so endpoint pairs identify links.
+      EXPECT_TRUE(used.insert({key.first, key.second}).second)
+          << "link reused: " << key.first << "-" << key.second;
+    }
+  }
+}
+
+TEST(DisjointPathsTest, CycleHasTwo) {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode(NodeKind::kServer);
+  for (int i = 0; i < 6; ++i) g.AddEdge(i, (i + 1) % 6);
+  const auto paths = EdgeDisjointPaths(g, 0, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  CheckDisjointPaths(g, 0, 3, paths);
+  EXPECT_EQ(EdgeConnectivity(g, 0, 3), 2u);
+}
+
+TEST(DisjointPathsTest, BridgeHasOne) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 2);
+  // 0 -> 2 must pass the 0-1 bridge.
+  EXPECT_EQ(EdgeConnectivity(g, 0, 2), 1u);
+  CheckDisjointPaths(g, 0, 2, EdgeDisjointPaths(g, 0, 2));
+}
+
+TEST(DisjointPathsTest, CompleteGraphK5) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(NodeKind::kServer);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) g.AddEdge(i, j);
+  }
+  EXPECT_EQ(EdgeConnectivity(g, 0, 4), 4u);
+  const auto paths = EdgeDisjointPaths(g, 0, 4);
+  EXPECT_EQ(paths.size(), 4u);
+  CheckDisjointPaths(g, 0, 4, paths);
+}
+
+TEST(DisjointPathsTest, MaxPathsLimitsSearch) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(NodeKind::kServer);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) g.AddEdge(i, j);
+  }
+  const auto paths = EdgeDisjointPaths(g, 0, 4, 2);
+  EXPECT_EQ(paths.size(), 2u);
+  CheckDisjointPaths(g, 0, 4, paths);
+}
+
+TEST(DisjointPathsTest, UnreachableGivesEmpty) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  g.AddNode(NodeKind::kServer);
+  EXPECT_TRUE(EdgeDisjointPaths(g, 0, 1).empty());
+  EXPECT_EQ(EdgeConnectivity(g, 0, 1), 0u);
+}
+
+TEST(DisjointPathsTest, FailuresRemoveCapacity) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(NodeKind::kServer);
+  const EdgeId direct = g.AddEdge(0, 3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 3);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(EdgeConnectivity(g, 0, 3), 3u);
+  FailureSet failures{g};
+  failures.KillEdge(direct);
+  EXPECT_EQ(EdgeConnectivity(g, 0, 3, &failures), 2u);
+  failures.KillNode(1);
+  EXPECT_EQ(EdgeConnectivity(g, 0, 3, &failures), 1u);
+  failures.KillNode(0);
+  EXPECT_EQ(EdgeConnectivity(g, 0, 3, &failures), 0u);
+  EXPECT_TRUE(EdgeDisjointPaths(g, 0, 3, 10, &failures).empty());
+}
+
+TEST(DisjointPathsTest, SameEndpointsThrow) {
+  Graph g;
+  g.AddNode(NodeKind::kServer);
+  EXPECT_THROW(EdgeDisjointPaths(g, 0, 0), InvalidArgument);
+  EXPECT_THROW(EdgeConnectivity(g, 0, 0), InvalidArgument);
+}
+
+TEST(DisjointPathsTest, AntiparallelFlowIsCancelled) {
+  // Diamond with a crossing middle edge; flow decomposition must still
+  // produce simple-link paths.
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode(NodeKind::kServer);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(1, 4);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 5);
+  g.AddEdge(4, 5);
+  const auto paths = EdgeDisjointPaths(g, 0, 5);
+  EXPECT_EQ(paths.size(), 2u);
+  CheckDisjointPaths(g, 0, 5, paths);
+}
+
+}  // namespace
+}  // namespace dcn::graph

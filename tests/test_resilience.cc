@@ -1,0 +1,96 @@
+#include "metrics/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/bfs.h"
+#include "topology/abccc.h"
+#include "topology/bcube.h"
+
+namespace dcn::metrics {
+namespace {
+
+using topo::Abccc;
+using topo::AbcccParams;
+
+TEST(ResilienceTest, HealthyNetworkHasZeroDisconnection) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  graph::FailureSet failures{net.Network()};
+  dcn::Rng rng{1};
+  EXPECT_DOUBLE_EQ(PairDisconnectionFraction(net, failures, 200, rng), 0.0);
+  EXPECT_DOUBLE_EQ(ServerLossFraction(net, failures), 0.0);
+}
+
+TEST(ResilienceTest, SingleSwitchLossDisconnectsNothingInAbccc) {
+  // Every ABCCC server pair has 2 link-disjoint paths, so one dead switch
+  // cannot partition live servers.
+  const Abccc net{AbcccParams{4, 1, 2}};
+  dcn::Rng rng{2};
+  EXPECT_DOUBLE_EQ(WorstSingleSwitchDisconnection(net, 100, 0, rng), 0.0);
+}
+
+TEST(ResilienceTest, IsolatingAllOfAServersSwitchesDisconnectsIt) {
+  const AbcccParams p{4, 1, 2};
+  const Abccc net{p};
+  // Kill server 0's two attachment points: its crossbar and its level
+  // switch. Server 0 is alive but unreachable.
+  graph::FailureSet failures{net.Network()};
+  failures.KillNode(net.CrossbarAt(0));
+  failures.KillNode(net.LevelSwitchAt(0, topo::Digits{0, 0}));
+  dcn::Rng rng{3};
+  const double fraction = PairDisconnectionFraction(net, failures, 400, rng);
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, 0.2);  // blast radius is one server's pairs
+}
+
+TEST(ResilienceTest, ServerLossFractionCountsDeadEndpoints) {
+  const Abccc net{AbcccParams{4, 1, 2}};  // 32 servers
+  graph::FailureSet failures{net.Network()};
+  failures.KillNode(0);
+  failures.KillNode(1);
+  failures.KillNode(net.CrossbarAt(3));  // switches don't count
+  EXPECT_DOUBLE_EQ(ServerLossFraction(net, failures), 2.0 / 32.0);
+}
+
+TEST(ResilienceTest, KillRackRemovesItsEquipmentOnly) {
+  const Abccc net{AbcccParams{4, 2, 2}};  // 192 servers, 40 per rack
+  const graph::FailureSet failures = KillRack(net, 0);
+  // Exactly the rack-0 servers are dead.
+  const std::vector<std::size_t> racks = topo::AssignRacks(net);
+  for (const graph::NodeId server : net.Servers()) {
+    EXPECT_EQ(failures.NodeDead(server), racks[server] == 0u);
+  }
+  EXPECT_GT(failures.DeadNodeCount(), 40u);  // servers + co-located switches
+  EXPECT_THROW(KillRack(net, 9999), dcn::InvalidArgument);
+}
+
+TEST(ResilienceTest, RackLossBlastRadiusStaysNearItsOwnServers) {
+  const Abccc net{AbcccParams{4, 2, 2}};
+  const graph::FailureSet failures = KillRack(net, 1);
+  dcn::Rng rng{5};
+  // Redundant planes span racks, so almost all survivors stay connected.
+  // The exception is real: a dual-port server whose row straddles the rack
+  // boundary can have both its crossbar and its level switch placed in the
+  // dead rack, orphaning it. That affects at most the handful of boundary
+  // servers, never a partition.
+  EXPECT_LT(PairDisconnectionFraction(net, failures, 300, rng), 0.05);
+  EXPECT_GT(ServerLossFraction(net, failures), 0.15);
+}
+
+TEST(ResilienceTest, BcubeToleratesAnySingleSwitch) {
+  const topo::Bcube net{topo::BcubeParams{4, 1}};
+  dcn::Rng rng{6};
+  EXPECT_DOUBLE_EQ(WorstSingleSwitchDisconnection(net, 100, 0, rng), 0.0);
+}
+
+TEST(ResilienceTest, SampleSwitchBoundRestrictsSweep) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  dcn::Rng rng{7};
+  // Bounded sweep still returns a valid fraction.
+  const double worst = WorstSingleSwitchDisconnection(net, 50, 3, rng);
+  EXPECT_GE(worst, 0.0);
+  EXPECT_LE(worst, 1.0);
+}
+
+}  // namespace
+}  // namespace dcn::metrics

@@ -1,0 +1,155 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace dcn {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextUint64ZeroBoundThrows) {
+  Rng rng{7};
+  EXPECT_THROW(rng.NextUint64(0), InvalidArgument);
+}
+
+TEST(RngTest, NextUint64CoversAllResidues) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextUint64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng{5};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.NextInt(4, 3), InvalidArgument);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng{9};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng{13};
+  const double rate = 4.0;
+  double sum = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) sum += rng.NextExponential(rate);
+  EXPECT_NEAR(sum / samples, 1.0 / rate, 0.01);
+  EXPECT_THROW(rng.NextExponential(0.0), InvalidArgument);
+}
+
+TEST(RngTest, BernoulliEdgeCasesAndFrequency) {
+  Rng rng{17};
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng{19};
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent{23};
+  Rng child = parent.Fork();
+  // The two streams should diverge immediately.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+class PermutationSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PermutationSizes, RandomPermutationIsPermutation) {
+  Rng rng{29};
+  const std::size_t size = GetParam();
+  const std::vector<std::size_t> perm = RandomPermutation(size, rng);
+  ASSERT_EQ(perm.size(), size);
+  std::vector<bool> seen(size, false);
+  for (std::size_t v : perm) {
+    ASSERT_LT(v, size);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST_P(PermutationSizes, DerangementHasNoFixedPoint) {
+  const std::size_t size = GetParam();
+  if (size < 2) return;
+  Rng rng{31};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<std::size_t> perm = RandomDerangement(size, rng);
+    ASSERT_EQ(perm.size(), size);
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_NE(perm[i], i) << "fixed point at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizes,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 16, 64, 257));
+
+TEST(RngTest, DerangementOfOneThrows) {
+  Rng rng{37};
+  EXPECT_THROW(RandomDerangement(1, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,113 @@
+// Scale smoke tests: build the largest instances any bench touches (and a
+// step beyond) and verify the structural invariants still hold. These guard
+// against quadratic construction blowups and 32-bit id truncation — the
+// kinds of bugs that only appear past toy sizes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/rng.h"
+#include "graph/bfs.h"
+#include "routing/abccc_routing.h"
+#include "routing/route.h"
+#include "topology/abccc.h"
+#include "topology/bcube.h"
+#include "topology/dcell.h"
+#include "topology/fattree.h"
+#include "topology/ficonn.h"
+
+namespace dcn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TEST(ScaleTest, SixteenThousandServerAbcccBuildsFast) {
+  const auto start = Clock::now();
+  const topo::AbcccParams params{8, 3, 2};  // m=4, 8^4 rows -> 16384 servers
+  const topo::Abccc net{params};
+  EXPECT_EQ(net.ServerCount(), 16384u);
+  EXPECT_EQ(net.SwitchCount(), params.CrossbarTotal() + params.LevelSwitchTotal());
+  EXPECT_LT(SecondsSince(start), 5.0) << "construction must stay near-linear";
+
+  // Sampled routing still valid and bounded at this size.
+  Rng rng{17};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    const routing::Route route = routing::AbcccRoute(net, src, dst);
+    ASSERT_EQ(routing::ValidateRoute(net.Network(), route), "");
+    ASSERT_LE(static_cast<int>(route.LinkCount()), net.RouteLengthBound());
+  }
+}
+
+TEST(ScaleTest, DeepNarrowAbcccStaysCorrect) {
+  // k = 7 with n = 2: 8 digits, long thin rows (m = 8 at c = 2).
+  const topo::AbcccParams params{2, 7, 2};
+  const topo::Abccc net{params};
+  EXPECT_EQ(net.ServerCount(), 8u * 256u);
+  const std::vector<int> dist = graph::BfsDistances(net.Network(), 0);
+  int ecc = 0;
+  for (const graph::NodeId server : net.Servers()) {
+    ASSERT_NE(dist[server], graph::kUnreachable);
+    ecc = std::max(ecc, dist[server]);
+  }
+  EXPECT_LE(ecc, net.RouteLengthBound());
+}
+
+TEST(ScaleTest, LargeBcubeAndFatTree) {
+  const topo::Bcube bcube{8, 3};  // 4096 servers, 4 ports each
+  EXPECT_EQ(bcube.ServerCount(), 4096u);
+  EXPECT_TRUE(graph::IsConnected(bcube.Network()));
+
+  const topo::FatTree fattree{24};  // 3456 servers
+  EXPECT_EQ(fattree.ServerCount(), 3456u);
+  const routing::Route route{
+      fattree.Route(fattree.Servers().front(), fattree.Servers().back())};
+  EXPECT_EQ(routing::ValidateRoute(fattree.Network(), route), "");
+  EXPECT_EQ(route.LinkCount(), 6u);
+}
+
+TEST(ScaleTest, DcellLevelTwoAtBaseSix) {
+  const topo::Dcell net{6, 2};  // 1806 servers
+  EXPECT_EQ(net.ServerCount(), 1806u);
+  Rng rng{19};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    const routing::Route route{net.Route(src, dst)};
+    ASSERT_EQ(routing::ValidateRoute(net.Network(), route), "");
+    ASSERT_LE(static_cast<int>(route.LinkCount()), net.RouteLengthBound());
+  }
+}
+
+TEST(ScaleTest, FiConnLevelThree) {
+  const topo::FiConn net{4, 3};  // t_3 = 48 * 7 = 336
+  EXPECT_EQ(net.ServerCount(), 336u);
+  EXPECT_TRUE(graph::IsConnected(net.Network()));
+  Rng rng{23};
+  const auto servers = net.Servers();
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
+    const graph::NodeId dst = servers[rng.NextUint64(servers.size())];
+    const routing::Route route{net.Route(src, dst)};
+    ASSERT_EQ(routing::ValidateRoute(net.Network(), route), "");
+    ASSERT_LE(static_cast<int>(route.LinkCount()), net.RouteLengthBound());
+  }
+}
+
+TEST(ScaleTest, SizeValidationRejectsOverflow) {
+  // Parameter combinations whose node counts overflow must throw, not wrap.
+  topo::AbcccParams huge{16, 15, 2};
+  EXPECT_THROW(huge.Validate(), InvalidArgument);
+  topo::BcubeParams big_bcube{256, 8};
+  EXPECT_THROW(big_bcube.Validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcn

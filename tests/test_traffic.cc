@@ -1,0 +1,95 @@
+#include "sim/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "topology/abccc.h"
+
+namespace dcn::sim {
+namespace {
+
+using topo::Abccc;
+using topo::AbcccParams;
+
+TEST(TrafficTest, PermutationIsADerangementOverServers) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  dcn::Rng rng{41};
+  const std::vector<Flow> flows = PermutationTraffic(net, rng);
+  ASSERT_EQ(flows.size(), net.ServerCount());
+  std::set<graph::NodeId> sources, destinations;
+  for (const Flow& flow : flows) {
+    EXPECT_NE(flow.src, flow.dst);
+    EXPECT_TRUE(net.Network().IsServer(flow.src));
+    EXPECT_TRUE(net.Network().IsServer(flow.dst));
+    EXPECT_TRUE(sources.insert(flow.src).second);
+    EXPECT_TRUE(destinations.insert(flow.dst).second);
+  }
+  EXPECT_EQ(sources.size(), net.ServerCount());
+  EXPECT_EQ(destinations.size(), net.ServerCount());
+}
+
+TEST(TrafficTest, PermutationIsSeedDeterministic) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  dcn::Rng rng_a{7}, rng_b{7};
+  const auto a = PermutationTraffic(net, rng_a);
+  const auto b = PermutationTraffic(net, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+TEST(TrafficTest, AllToAllFullEnumeration) {
+  const Abccc net{AbcccParams{2, 1, 2}};  // 8 servers
+  dcn::Rng rng{42};
+  const std::vector<Flow> flows = AllToAllTraffic(net, 1000000, rng);
+  EXPECT_EQ(flows.size(), 8u * 7u);
+  std::set<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (const Flow& flow : flows) {
+    EXPECT_NE(flow.src, flow.dst);
+    EXPECT_TRUE(pairs.insert({flow.src, flow.dst}).second);
+  }
+}
+
+TEST(TrafficTest, AllToAllSampledWhenTooLarge) {
+  const Abccc net{AbcccParams{4, 2, 2}};
+  dcn::Rng rng{43};
+  const std::vector<Flow> flows = AllToAllTraffic(net, 500, rng);
+  EXPECT_EQ(flows.size(), 500u);
+  for (const Flow& flow : flows) EXPECT_NE(flow.src, flow.dst);
+}
+
+TEST(TrafficTest, ManyToOneSharesOneDestination) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  dcn::Rng rng{44};
+  const std::vector<Flow> flows = ManyToOneTraffic(net, 10, rng);
+  ASSERT_EQ(flows.size(), 10u);
+  std::set<graph::NodeId> sources;
+  for (const Flow& flow : flows) {
+    EXPECT_EQ(flow.dst, flows[0].dst);
+    EXPECT_NE(flow.src, flow.dst);
+    EXPECT_TRUE(sources.insert(flow.src).second);  // distinct senders
+  }
+  EXPECT_THROW(ManyToOneTraffic(net, net.ServerCount(), rng),
+               dcn::InvalidArgument);
+}
+
+TEST(TrafficTest, BisectionTrafficCrossesTheCut) {
+  const Abccc net{AbcccParams{4, 1, 2}};
+  dcn::Rng rng{45};
+  const auto [side_a, side_b] = net.BisectionHalves();
+  const std::set<graph::NodeId> a_set(side_a.begin(), side_a.end());
+  const std::vector<Flow> flows = BisectionTraffic(net, rng);
+  EXPECT_EQ(flows.size(), 2 * std::min(side_a.size(), side_b.size()));
+  for (const Flow& flow : flows) {
+    EXPECT_NE(a_set.count(flow.src) > 0, a_set.count(flow.dst) > 0)
+        << "flow does not cross the bisection";
+  }
+}
+
+}  // namespace
+}  // namespace dcn::sim
