@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_port_sweep.dir/bench_f10_port_sweep.cc.o"
+  "CMakeFiles/bench_f10_port_sweep.dir/bench_f10_port_sweep.cc.o.d"
+  "bench_f10_port_sweep"
+  "bench_f10_port_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_port_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_degraded.dir/bench_f12_degraded.cc.o"
+  "CMakeFiles/bench_f12_degraded.dir/bench_f12_degraded.cc.o.d"
+  "bench_f12_degraded"
+  "bench_f12_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

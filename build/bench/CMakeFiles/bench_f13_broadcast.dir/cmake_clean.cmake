@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_broadcast.dir/bench_f13_broadcast.cc.o"
+  "CMakeFiles/bench_f13_broadcast.dir/bench_f13_broadcast.cc.o.d"
+  "bench_f13_broadcast"
+  "bench_f13_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f14_spraying.dir/bench_f14_spraying.cc.o"
+  "CMakeFiles/bench_f14_spraying.dir/bench_f14_spraying.cc.o.d"
+  "bench_f14_spraying"
+  "bench_f14_spraying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f14_spraying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

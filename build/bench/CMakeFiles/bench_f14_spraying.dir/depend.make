@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f14_spraying.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f15_cabling.dir/bench_f15_cabling.cc.o"
+  "CMakeFiles/bench_f15_cabling.dir/bench_f15_cabling.cc.o.d"
+  "bench_f15_cabling"
+  "bench_f15_cabling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f15_cabling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

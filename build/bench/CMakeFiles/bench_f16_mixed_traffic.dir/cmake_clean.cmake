@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f16_mixed_traffic.dir/bench_f16_mixed_traffic.cc.o"
+  "CMakeFiles/bench_f16_mixed_traffic.dir/bench_f16_mixed_traffic.cc.o.d"
+  "bench_f16_mixed_traffic"
+  "bench_f16_mixed_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f16_mixed_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

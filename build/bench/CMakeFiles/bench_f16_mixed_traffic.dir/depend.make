@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f16_mixed_traffic.
+# This may be replaced when dependencies are built.

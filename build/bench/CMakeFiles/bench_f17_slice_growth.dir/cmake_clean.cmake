@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f17_slice_growth.dir/bench_f17_slice_growth.cc.o"
+  "CMakeFiles/bench_f17_slice_growth.dir/bench_f17_slice_growth.cc.o.d"
+  "bench_f17_slice_growth"
+  "bench_f17_slice_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f17_slice_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f17_slice_growth.
+# This may be replaced when dependencies are built.

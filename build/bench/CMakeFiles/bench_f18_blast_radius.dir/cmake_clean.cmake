@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f18_blast_radius.dir/bench_f18_blast_radius.cc.o"
+  "CMakeFiles/bench_f18_blast_radius.dir/bench_f18_blast_radius.cc.o.d"
+  "bench_f18_blast_radius"
+  "bench_f18_blast_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f18_blast_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

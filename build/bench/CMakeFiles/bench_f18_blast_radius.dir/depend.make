@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f18_blast_radius.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f19_fault_compare.dir/bench_f19_fault_compare.cc.o"
+  "CMakeFiles/bench_f19_fault_compare.dir/bench_f19_fault_compare.cc.o.d"
+  "bench_f19_fault_compare"
+  "bench_f19_fault_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f19_fault_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_diameter.dir/bench_f1_diameter.cc.o"
+  "CMakeFiles/bench_f1_diameter.dir/bench_f1_diameter.cc.o.d"
+  "bench_f1_diameter"
+  "bench_f1_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

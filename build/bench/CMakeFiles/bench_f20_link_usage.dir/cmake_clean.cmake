@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f20_link_usage.dir/bench_f20_link_usage.cc.o"
+  "CMakeFiles/bench_f20_link_usage.dir/bench_f20_link_usage.cc.o.d"
+  "bench_f20_link_usage"
+  "bench_f20_link_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f20_link_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f20_link_usage.
+# This may be replaced when dependencies are built.

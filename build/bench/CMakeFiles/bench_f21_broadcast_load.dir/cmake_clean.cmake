@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f21_broadcast_load.dir/bench_f21_broadcast_load.cc.o"
+  "CMakeFiles/bench_f21_broadcast_load.dir/bench_f21_broadcast_load.cc.o.d"
+  "bench_f21_broadcast_load"
+  "bench_f21_broadcast_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f21_broadcast_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f21_broadcast_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f22_incast.dir/bench_f22_incast.cc.o"
+  "CMakeFiles/bench_f22_incast.dir/bench_f22_incast.cc.o.d"
+  "bench_f22_incast"
+  "bench_f22_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f22_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f23_shuffle.dir/bench_f23_shuffle.cc.o"
+  "CMakeFiles/bench_f23_shuffle.dir/bench_f23_shuffle.cc.o.d"
+  "bench_f23_shuffle"
+  "bench_f23_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f23_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

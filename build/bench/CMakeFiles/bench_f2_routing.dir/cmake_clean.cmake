@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_routing.dir/bench_f2_routing.cc.o"
+  "CMakeFiles/bench_f2_routing.dir/bench_f2_routing.cc.o.d"
+  "bench_f2_routing"
+  "bench_f2_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_bisection.dir/bench_f3_bisection.cc.o"
+  "CMakeFiles/bench_f3_bisection.dir/bench_f3_bisection.cc.o.d"
+  "bench_f3_bisection"
+  "bench_f3_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

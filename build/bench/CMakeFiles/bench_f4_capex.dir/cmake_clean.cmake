@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_capex.dir/bench_f4_capex.cc.o"
+  "CMakeFiles/bench_f4_capex.dir/bench_f4_capex.cc.o.d"
+  "bench_f4_capex"
+  "bench_f4_capex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_capex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

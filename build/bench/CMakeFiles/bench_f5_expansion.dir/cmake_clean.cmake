@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_expansion.dir/bench_f5_expansion.cc.o"
+  "CMakeFiles/bench_f5_expansion.dir/bench_f5_expansion.cc.o.d"
+  "bench_f5_expansion"
+  "bench_f5_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_throughput.dir/bench_f6_throughput.cc.o"
+  "CMakeFiles/bench_f6_throughput.dir/bench_f6_throughput.cc.o.d"
+  "bench_f6_throughput"
+  "bench_f6_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_faults.dir/bench_f7_faults.cc.o"
+  "CMakeFiles/bench_f7_faults.dir/bench_f7_faults.cc.o.d"
+  "bench_f7_faults"
+  "bench_f7_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_multipath.dir/bench_f8_multipath.cc.o"
+  "CMakeFiles/bench_f8_multipath.dir/bench_f8_multipath.cc.o.d"
+  "bench_f8_multipath"
+  "bench_f8_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

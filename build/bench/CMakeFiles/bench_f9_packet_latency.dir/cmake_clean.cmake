@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_packet_latency.dir/bench_f9_packet_latency.cc.o"
+  "CMakeFiles/bench_f9_packet_latency.dir/bench_f9_packet_latency.cc.o.d"
+  "bench_f9_packet_latency"
+  "bench_f9_packet_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_packet_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t1_structure.cc" "bench/CMakeFiles/bench_t1_structure.dir/bench_t1_structure.cc.o" "gcc" "bench/CMakeFiles/bench_t1_structure.dir/bench_t1_structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

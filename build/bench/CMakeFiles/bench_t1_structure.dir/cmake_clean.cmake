@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_structure.dir/bench_t1_structure.cc.o"
+  "CMakeFiles/bench_t1_structure.dir/bench_t1_structure.cc.o.d"
+  "bench_t1_structure"
+  "bench_t1_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_comparison.dir/bench_t2_comparison.cc.o"
+  "CMakeFiles/bench_t2_comparison.dir/bench_t2_comparison.cc.o.d"
+  "bench_t2_comparison"
+  "bench_t2_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_demo.dir/broadcast_demo.cpp.o"
+  "CMakeFiles/broadcast_demo.dir/broadcast_demo.cpp.o.d"
+  "broadcast_demo"
+  "broadcast_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

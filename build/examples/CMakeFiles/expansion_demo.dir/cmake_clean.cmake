@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_demo.dir/expansion_demo.cpp.o"
+  "CMakeFiles/expansion_demo.dir/expansion_demo.cpp.o.d"
+  "expansion_demo"
+  "expansion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

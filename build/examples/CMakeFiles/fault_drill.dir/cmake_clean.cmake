@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_drill.dir/fault_drill.cpp.o"
+  "CMakeFiles/fault_drill.dir/fault_drill.cpp.o.d"
+  "fault_drill"
+  "fault_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_replay.dir/flow_replay.cpp.o"
+  "CMakeFiles/flow_replay.dir/flow_replay.cpp.o.d"
+  "flow_replay"
+  "flow_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_planner.dir/growth_planner.cpp.o"
+  "CMakeFiles/growth_planner.dir/growth_planner.cpp.o.d"
+  "growth_planner"
+  "growth_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

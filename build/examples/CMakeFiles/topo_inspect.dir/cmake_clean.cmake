@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_inspect.dir/topo_inspect.cpp.o"
+  "CMakeFiles/topo_inspect.dir/topo_inspect.cpp.o.d"
+  "topo_inspect"
+  "topo_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

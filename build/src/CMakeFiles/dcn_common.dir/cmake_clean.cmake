@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_common.dir/common/cli.cc.o"
+  "CMakeFiles/dcn_common.dir/common/cli.cc.o.d"
+  "CMakeFiles/dcn_common.dir/common/error.cc.o"
+  "CMakeFiles/dcn_common.dir/common/error.cc.o.d"
+  "CMakeFiles/dcn_common.dir/common/rng.cc.o"
+  "CMakeFiles/dcn_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dcn_common.dir/common/stats.cc.o"
+  "CMakeFiles/dcn_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/dcn_common.dir/common/table.cc.o"
+  "CMakeFiles/dcn_common.dir/common/table.cc.o.d"
+  "libdcn_common.a"
+  "libdcn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

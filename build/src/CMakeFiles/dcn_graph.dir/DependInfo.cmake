@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cc" "src/CMakeFiles/dcn_graph.dir/graph/bfs.cc.o" "gcc" "src/CMakeFiles/dcn_graph.dir/graph/bfs.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/dcn_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/dcn_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/maxflow.cc" "src/CMakeFiles/dcn_graph.dir/graph/maxflow.cc.o" "gcc" "src/CMakeFiles/dcn_graph.dir/graph/maxflow.cc.o.d"
+  "/root/repo/src/graph/paths.cc" "src/CMakeFiles/dcn_graph.dir/graph/paths.cc.o" "gcc" "src/CMakeFiles/dcn_graph.dir/graph/paths.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_graph.dir/graph/bfs.cc.o"
+  "CMakeFiles/dcn_graph.dir/graph/bfs.cc.o.d"
+  "CMakeFiles/dcn_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/dcn_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/dcn_graph.dir/graph/maxflow.cc.o"
+  "CMakeFiles/dcn_graph.dir/graph/maxflow.cc.o.d"
+  "CMakeFiles/dcn_graph.dir/graph/paths.cc.o"
+  "CMakeFiles/dcn_graph.dir/graph/paths.cc.o.d"
+  "libdcn_graph.a"
+  "libdcn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/bisection.cc" "src/CMakeFiles/dcn_metrics.dir/metrics/bisection.cc.o" "gcc" "src/CMakeFiles/dcn_metrics.dir/metrics/bisection.cc.o.d"
+  "/root/repo/src/metrics/capex.cc" "src/CMakeFiles/dcn_metrics.dir/metrics/capex.cc.o" "gcc" "src/CMakeFiles/dcn_metrics.dir/metrics/capex.cc.o.d"
+  "/root/repo/src/metrics/link_usage.cc" "src/CMakeFiles/dcn_metrics.dir/metrics/link_usage.cc.o" "gcc" "src/CMakeFiles/dcn_metrics.dir/metrics/link_usage.cc.o.d"
+  "/root/repo/src/metrics/path_metrics.cc" "src/CMakeFiles/dcn_metrics.dir/metrics/path_metrics.cc.o" "gcc" "src/CMakeFiles/dcn_metrics.dir/metrics/path_metrics.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/dcn_metrics.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/dcn_metrics.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/resilience.cc" "src/CMakeFiles/dcn_metrics.dir/metrics/resilience.cc.o" "gcc" "src/CMakeFiles/dcn_metrics.dir/metrics/resilience.cc.o.d"
+  "/root/repo/src/metrics/throughput_bounds.cc" "src/CMakeFiles/dcn_metrics.dir/metrics/throughput_bounds.cc.o" "gcc" "src/CMakeFiles/dcn_metrics.dir/metrics/throughput_bounds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_metrics.dir/metrics/bisection.cc.o"
+  "CMakeFiles/dcn_metrics.dir/metrics/bisection.cc.o.d"
+  "CMakeFiles/dcn_metrics.dir/metrics/capex.cc.o"
+  "CMakeFiles/dcn_metrics.dir/metrics/capex.cc.o.d"
+  "CMakeFiles/dcn_metrics.dir/metrics/link_usage.cc.o"
+  "CMakeFiles/dcn_metrics.dir/metrics/link_usage.cc.o.d"
+  "CMakeFiles/dcn_metrics.dir/metrics/path_metrics.cc.o"
+  "CMakeFiles/dcn_metrics.dir/metrics/path_metrics.cc.o.d"
+  "CMakeFiles/dcn_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/dcn_metrics.dir/metrics/report.cc.o.d"
+  "CMakeFiles/dcn_metrics.dir/metrics/resilience.cc.o"
+  "CMakeFiles/dcn_metrics.dir/metrics/resilience.cc.o.d"
+  "CMakeFiles/dcn_metrics.dir/metrics/throughput_bounds.cc.o"
+  "CMakeFiles/dcn_metrics.dir/metrics/throughput_bounds.cc.o.d"
+  "libdcn_metrics.a"
+  "libdcn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcn_metrics.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/abccc_routing.cc" "src/CMakeFiles/dcn_routing.dir/routing/abccc_routing.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/abccc_routing.cc.o.d"
+  "/root/repo/src/routing/baseline_fault.cc" "src/CMakeFiles/dcn_routing.dir/routing/baseline_fault.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/baseline_fault.cc.o.d"
+  "/root/repo/src/routing/bfs_router.cc" "src/CMakeFiles/dcn_routing.dir/routing/bfs_router.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/bfs_router.cc.o.d"
+  "/root/repo/src/routing/broadcast.cc" "src/CMakeFiles/dcn_routing.dir/routing/broadcast.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/broadcast.cc.o.d"
+  "/root/repo/src/routing/fault_routing.cc" "src/CMakeFiles/dcn_routing.dir/routing/fault_routing.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/fault_routing.cc.o.d"
+  "/root/repo/src/routing/forwarding.cc" "src/CMakeFiles/dcn_routing.dir/routing/forwarding.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/forwarding.cc.o.d"
+  "/root/repo/src/routing/load_balance.cc" "src/CMakeFiles/dcn_routing.dir/routing/load_balance.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/load_balance.cc.o.d"
+  "/root/repo/src/routing/multipath.cc" "src/CMakeFiles/dcn_routing.dir/routing/multipath.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/multipath.cc.o.d"
+  "/root/repo/src/routing/permutation.cc" "src/CMakeFiles/dcn_routing.dir/routing/permutation.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/permutation.cc.o.d"
+  "/root/repo/src/routing/route.cc" "src/CMakeFiles/dcn_routing.dir/routing/route.cc.o" "gcc" "src/CMakeFiles/dcn_routing.dir/routing/route.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_routing.dir/routing/abccc_routing.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/abccc_routing.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/baseline_fault.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/baseline_fault.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/bfs_router.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/bfs_router.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/broadcast.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/broadcast.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/fault_routing.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/fault_routing.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/forwarding.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/forwarding.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/load_balance.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/load_balance.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/multipath.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/multipath.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/permutation.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/permutation.cc.o.d"
+  "CMakeFiles/dcn_routing.dir/routing/route.cc.o"
+  "CMakeFiles/dcn_routing.dir/routing/route.cc.o.d"
+  "libdcn_routing.a"
+  "libdcn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

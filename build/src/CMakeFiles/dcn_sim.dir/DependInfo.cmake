@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/broadcast_sim.cc" "src/CMakeFiles/dcn_sim.dir/sim/broadcast_sim.cc.o" "gcc" "src/CMakeFiles/dcn_sim.dir/sim/broadcast_sim.cc.o.d"
+  "/root/repo/src/sim/failures.cc" "src/CMakeFiles/dcn_sim.dir/sim/failures.cc.o" "gcc" "src/CMakeFiles/dcn_sim.dir/sim/failures.cc.o.d"
+  "/root/repo/src/sim/flowsim.cc" "src/CMakeFiles/dcn_sim.dir/sim/flowsim.cc.o" "gcc" "src/CMakeFiles/dcn_sim.dir/sim/flowsim.cc.o.d"
+  "/root/repo/src/sim/fluid.cc" "src/CMakeFiles/dcn_sim.dir/sim/fluid.cc.o" "gcc" "src/CMakeFiles/dcn_sim.dir/sim/fluid.cc.o.d"
+  "/root/repo/src/sim/packetsim.cc" "src/CMakeFiles/dcn_sim.dir/sim/packetsim.cc.o" "gcc" "src/CMakeFiles/dcn_sim.dir/sim/packetsim.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/CMakeFiles/dcn_sim.dir/sim/traffic.cc.o" "gcc" "src/CMakeFiles/dcn_sim.dir/sim/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

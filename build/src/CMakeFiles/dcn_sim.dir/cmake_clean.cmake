@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_sim.dir/sim/broadcast_sim.cc.o"
+  "CMakeFiles/dcn_sim.dir/sim/broadcast_sim.cc.o.d"
+  "CMakeFiles/dcn_sim.dir/sim/failures.cc.o"
+  "CMakeFiles/dcn_sim.dir/sim/failures.cc.o.d"
+  "CMakeFiles/dcn_sim.dir/sim/flowsim.cc.o"
+  "CMakeFiles/dcn_sim.dir/sim/flowsim.cc.o.d"
+  "CMakeFiles/dcn_sim.dir/sim/fluid.cc.o"
+  "CMakeFiles/dcn_sim.dir/sim/fluid.cc.o.d"
+  "CMakeFiles/dcn_sim.dir/sim/packetsim.cc.o"
+  "CMakeFiles/dcn_sim.dir/sim/packetsim.cc.o.d"
+  "CMakeFiles/dcn_sim.dir/sim/traffic.cc.o"
+  "CMakeFiles/dcn_sim.dir/sim/traffic.cc.o.d"
+  "libdcn_sim.a"
+  "libdcn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

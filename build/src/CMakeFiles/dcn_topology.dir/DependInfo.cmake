@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/abccc.cc" "src/CMakeFiles/dcn_topology.dir/topology/abccc.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/abccc.cc.o.d"
+  "/root/repo/src/topology/address.cc" "src/CMakeFiles/dcn_topology.dir/topology/address.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/address.cc.o.d"
+  "/root/repo/src/topology/bccc.cc" "src/CMakeFiles/dcn_topology.dir/topology/bccc.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/bccc.cc.o.d"
+  "/root/repo/src/topology/bcube.cc" "src/CMakeFiles/dcn_topology.dir/topology/bcube.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/bcube.cc.o.d"
+  "/root/repo/src/topology/cabling.cc" "src/CMakeFiles/dcn_topology.dir/topology/cabling.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/cabling.cc.o.d"
+  "/root/repo/src/topology/cost_model.cc" "src/CMakeFiles/dcn_topology.dir/topology/cost_model.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/cost_model.cc.o.d"
+  "/root/repo/src/topology/custom.cc" "src/CMakeFiles/dcn_topology.dir/topology/custom.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/custom.cc.o.d"
+  "/root/repo/src/topology/dcell.cc" "src/CMakeFiles/dcn_topology.dir/topology/dcell.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/dcell.cc.o.d"
+  "/root/repo/src/topology/expansion.cc" "src/CMakeFiles/dcn_topology.dir/topology/expansion.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/expansion.cc.o.d"
+  "/root/repo/src/topology/export.cc" "src/CMakeFiles/dcn_topology.dir/topology/export.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/export.cc.o.d"
+  "/root/repo/src/topology/factory.cc" "src/CMakeFiles/dcn_topology.dir/topology/factory.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/factory.cc.o.d"
+  "/root/repo/src/topology/fattree.cc" "src/CMakeFiles/dcn_topology.dir/topology/fattree.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/fattree.cc.o.d"
+  "/root/repo/src/topology/ficonn.cc" "src/CMakeFiles/dcn_topology.dir/topology/ficonn.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/ficonn.cc.o.d"
+  "/root/repo/src/topology/gabccc.cc" "src/CMakeFiles/dcn_topology.dir/topology/gabccc.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/gabccc.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/CMakeFiles/dcn_topology.dir/topology/topology.cc.o" "gcc" "src/CMakeFiles/dcn_topology.dir/topology/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_topology.dir/topology/abccc.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/abccc.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/address.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/address.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/bccc.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/bccc.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/bcube.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/bcube.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/cabling.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/cabling.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/cost_model.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/cost_model.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/custom.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/custom.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/dcell.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/dcell.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/expansion.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/expansion.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/export.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/export.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/factory.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/factory.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/fattree.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/fattree.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/ficonn.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/ficonn.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/gabccc.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/gabccc.cc.o.d"
+  "CMakeFiles/dcn_topology.dir/topology/topology.cc.o"
+  "CMakeFiles/dcn_topology.dir/topology/topology.cc.o.d"
+  "libdcn_topology.a"
+  "libdcn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abccc.dir/test_abccc.cc.o"
+  "CMakeFiles/test_abccc.dir/test_abccc.cc.o.d"
+  "test_abccc"
+  "test_abccc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abccc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

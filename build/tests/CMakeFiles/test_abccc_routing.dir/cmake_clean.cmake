@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abccc_routing.dir/test_abccc_routing.cc.o"
+  "CMakeFiles/test_abccc_routing.dir/test_abccc_routing.cc.o.d"
+  "test_abccc_routing"
+  "test_abccc_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abccc_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_abccc_routing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address.dir/test_address.cc.o"
+  "CMakeFiles/test_address.dir/test_address.cc.o.d"
+  "test_address"
+  "test_address.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

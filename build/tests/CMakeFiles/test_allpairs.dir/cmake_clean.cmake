@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allpairs.dir/test_allpairs.cc.o"
+  "CMakeFiles/test_allpairs.dir/test_allpairs.cc.o.d"
+  "test_allpairs"
+  "test_allpairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allpairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_fault.dir/test_baseline_fault.cc.o"
+  "CMakeFiles/test_baseline_fault.dir/test_baseline_fault.cc.o.d"
+  "test_baseline_fault"
+  "test_baseline_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

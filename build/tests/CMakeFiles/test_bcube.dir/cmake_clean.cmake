@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcube.dir/test_bcube.cc.o"
+  "CMakeFiles/test_bcube.dir/test_bcube.cc.o.d"
+  "test_bcube"
+  "test_bcube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfs.dir/test_bfs.cc.o"
+  "CMakeFiles/test_bfs.dir/test_bfs.cc.o.d"
+  "test_bfs"
+  "test_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

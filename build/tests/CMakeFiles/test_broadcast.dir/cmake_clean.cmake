@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast.dir/test_broadcast.cc.o"
+  "CMakeFiles/test_broadcast.dir/test_broadcast.cc.o.d"
+  "test_broadcast"
+  "test_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_broadcast_sim.dir/test_broadcast_sim.cc.o"
+  "CMakeFiles/test_broadcast_sim.dir/test_broadcast_sim.cc.o.d"
+  "test_broadcast_sim"
+  "test_broadcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_broadcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

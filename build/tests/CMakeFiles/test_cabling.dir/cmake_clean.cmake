@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cabling.dir/test_cabling.cc.o"
+  "CMakeFiles/test_cabling.dir/test_cabling.cc.o.d"
+  "test_cabling"
+  "test_cabling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cabling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custom.dir/test_custom.cc.o"
+  "CMakeFiles/test_custom.dir/test_custom.cc.o.d"
+  "test_custom"
+  "test_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

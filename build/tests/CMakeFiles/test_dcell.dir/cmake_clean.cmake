@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcell.dir/test_dcell.cc.o"
+  "CMakeFiles/test_dcell.dir/test_dcell.cc.o.d"
+  "test_dcell"
+  "test_dcell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

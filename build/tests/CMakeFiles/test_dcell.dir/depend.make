@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dcell.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expansion.dir/test_expansion.cc.o"
+  "CMakeFiles/test_expansion.dir/test_expansion.cc.o.d"
+  "test_expansion"
+  "test_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factory_export.dir/test_factory_export.cc.o"
+  "CMakeFiles/test_factory_export.dir/test_factory_export.cc.o.d"
+  "test_factory_export"
+  "test_factory_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factory_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fattree.dir/test_fattree.cc.o"
+  "CMakeFiles/test_fattree.dir/test_fattree.cc.o.d"
+  "test_fattree"
+  "test_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

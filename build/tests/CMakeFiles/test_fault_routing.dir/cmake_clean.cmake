@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_routing.dir/test_fault_routing.cc.o"
+  "CMakeFiles/test_fault_routing.dir/test_fault_routing.cc.o.d"
+  "test_fault_routing"
+  "test_fault_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

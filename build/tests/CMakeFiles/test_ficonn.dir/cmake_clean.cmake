@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ficonn.dir/test_ficonn.cc.o"
+  "CMakeFiles/test_ficonn.dir/test_ficonn.cc.o.d"
+  "test_ficonn"
+  "test_ficonn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ficonn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowsim.dir/test_flowsim.cc.o"
+  "CMakeFiles/test_flowsim.dir/test_flowsim.cc.o.d"
+  "test_flowsim"
+  "test_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid.dir/test_fluid.cc.o"
+  "CMakeFiles/test_fluid.dir/test_fluid.cc.o.d"
+  "test_fluid"
+  "test_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forwarding.dir/test_forwarding.cc.o"
+  "CMakeFiles/test_forwarding.dir/test_forwarding.cc.o.d"
+  "test_forwarding"
+  "test_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gabccc.dir/test_gabccc.cc.o"
+  "CMakeFiles/test_gabccc.dir/test_gabccc.cc.o.d"
+  "test_gabccc"
+  "test_gabccc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gabccc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_usage.dir/test_link_usage.cc.o"
+  "CMakeFiles/test_link_usage.dir/test_link_usage.cc.o.d"
+  "test_link_usage"
+  "test_link_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_balance.dir/test_load_balance.cc.o"
+  "CMakeFiles/test_load_balance.dir/test_load_balance.cc.o.d"
+  "test_load_balance"
+  "test_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multipath.dir/test_multipath.cc.o"
+  "CMakeFiles/test_multipath.dir/test_multipath.cc.o.d"
+  "test_multipath"
+  "test_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packetsim.dir/test_packetsim.cc.o"
+  "CMakeFiles/test_packetsim.dir/test_packetsim.cc.o.d"
+  "test_packetsim"
+  "test_packetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packetsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paths.dir/test_paths.cc.o"
+  "CMakeFiles/test_paths.dir/test_paths.cc.o.d"
+  "test_paths"
+  "test_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_invariants.dir/test_random_invariants.cc.o"
+  "CMakeFiles/test_random_invariants.dir/test_random_invariants.cc.o.d"
+  "test_random_invariants"
+  "test_random_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

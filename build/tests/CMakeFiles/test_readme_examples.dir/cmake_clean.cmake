@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readme_examples.dir/test_readme_examples.cc.o"
+  "CMakeFiles/test_readme_examples.dir/test_readme_examples.cc.o.d"
+  "test_readme_examples"
+  "test_readme_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readme_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resilience.dir/test_resilience.cc.o"
+  "CMakeFiles/test_resilience.dir/test_resilience.cc.o.d"
+  "test_resilience"
+  "test_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

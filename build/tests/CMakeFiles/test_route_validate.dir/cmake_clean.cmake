@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_validate.dir/test_route_validate.cc.o"
+  "CMakeFiles/test_route_validate.dir/test_route_validate.cc.o.d"
+  "test_route_validate"
+  "test_route_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

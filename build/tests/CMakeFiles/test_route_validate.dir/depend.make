@@ -1,0 +1,2 @@
+# Empty dependencies file for test_route_validate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale.dir/test_scale.cc.o"
+  "CMakeFiles/test_scale.dir/test_scale.cc.o.d"
+  "test_scale"
+  "test_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
