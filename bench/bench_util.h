@@ -36,23 +36,15 @@ inline int ServerEccentricity(const topo::Topology& net) {
   return ecc;
 }
 
-// Native routes for a flow set (one route per flow, the topology's own
-// routing algorithm).
-inline std::vector<routing::Route> NativeRoutes(const topo::Topology& net,
-                                                const std::vector<sim::Flow>& flows) {
-  std::vector<routing::Route> routes;
-  routes.reserve(flows.size());
-  for (const sim::Flow& flow : flows) {
-    routes.push_back(routing::Route{net.Route(flow.src, flow.dst)});
-  }
-  return routes;
-}
+// Native routes for a flow set: see sim::NativeRoutes (parallel over the
+// DCN_THREADS pool). Kept as an alias so experiment code reads bench-local.
+using sim::NativeRoutes;
 
 // Max-min fair throughput of a permutation workload under native routing.
 inline sim::FlowSimResult PermutationThroughput(const topo::Topology& net,
                                                 Rng& rng) {
   const std::vector<sim::Flow> flows = sim::PermutationTraffic(net, rng);
-  return sim::MaxMinFairRates(net.Network(), NativeRoutes(net, flows));
+  return sim::MaxMinFairRates(net.Network(), sim::NativeRoutes(net, flows));
 }
 
 inline void PrintHeader(const std::string& id, const std::string& claim) {

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "routing/abccc_routing.h"
 #include "routing/broadcast.h"
@@ -15,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace dcn;
   const CliArgs args{argc, argv};
+  ConfigureThreads(args);
   const topo::AbcccParams params{
       static_cast<int>(args.GetInt("n", 4)),
       static_cast<int>(args.GetInt("k", 2)),

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "graph/bfs.h"
 #include "topology/abccc.h"
@@ -36,6 +37,7 @@ int Eccentricity(const dcn::topo::Topology& net) {
 int main(int argc, char** argv) {
   using namespace dcn;
   const CliArgs args{argc, argv};
+  ConfigureThreads(args);
   const auto min_servers = static_cast<std::uint64_t>(args.GetInt("servers", 500));
   const int max_ports = static_cast<int>(args.GetInt("ports", 3));
   const double budget = args.GetDouble("budget-per-server", 400.0);

@@ -5,12 +5,14 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "topology/expansion.h"
 
 int main(int argc, char** argv) {
   using namespace dcn;
   const CliArgs args{argc, argv};
+  ConfigureThreads(args);
   const int n = static_cast<int>(args.GetInt("n", 4));
   const int c = static_cast<int>(args.GetInt("c", 2));
   const int k_from = static_cast<int>(args.GetInt("from", 1));

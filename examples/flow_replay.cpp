@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -68,6 +69,7 @@ std::vector<ParsedFlow> LoadFlows(std::istream& in) {
 int main(int argc, char** argv) {
   using namespace dcn;
   const CliArgs args{argc, argv};
+  ConfigureThreads(args);
   const double capacity = args.GetDouble("capacity", 1.0);
 
   std::unique_ptr<topo::Topology> net;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "topology/cost_model.h"
 #include "topology/expansion.h"
@@ -19,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace dcn;
   const CliArgs args{argc, argv};
+  ConfigureThreads(args);
   const int n = static_cast<int>(args.GetInt("n", 4));
   const int c = static_cast<int>(args.GetInt("c", 2));
   const auto target = static_cast<std::uint64_t>(args.GetInt("target", 150));

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "metrics/path_metrics.h"
 #include "routing/abccc_routing.h"
 #include "topology/abccc.h"
@@ -16,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace dcn;
   const CliArgs args{argc, argv};
+  ConfigureThreads(args);
   const topo::AbcccParams params{
       static_cast<int>(args.GetInt("n", 4)),
       static_cast<int>(args.GetInt("k", 2)),

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "metrics/report.h"
 #include "routing/route.h"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace dcn;
   const CliArgs args{argc, argv};
+  ConfigureThreads(args);
   const std::string spec = args.GetString("topo", "abccc:n=4,k=2,c=3");
 
   std::unique_ptr<topo::Topology> net;

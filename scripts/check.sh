@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Pre-submit gate: build Release and ThreadSanitizer configurations and run
+# the full test suite under both. TSan exercises the DCN_THREADS pool with an
+# oversubscribed thread count so scheduling interleavings vary; the
+# determinism suites then prove results are still bit-identical.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== Release build + tests =="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+ctest --preset release -j "$JOBS" "$@"
+
+echo
+echo "== ThreadSanitizer build + tests =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+# Oversubscribe the pool relative to the host so TSan sees real contention.
+DCN_THREADS="${DCN_THREADS_TSAN:-4}" ctest --preset tsan -j "$JOBS" "$@"
+
+echo
+echo "check.sh: all suites passed under Release and TSan."

@@ -1,0 +1,214 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/cli.h"
+
+namespace dcn {
+namespace {
+
+// Set while a thread (worker or caller) is executing chunks; makes nested
+// parallel regions run serially inline instead of deadlocking on the pool.
+thread_local bool tl_in_parallel = false;
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int EnvThreads() {
+  const char* env = std::getenv("DCN_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 1) {
+    throw InvalidArgument{std::string{"DCN_THREADS must be a positive integer, got: "} + env};
+  }
+  return static_cast<int>(parsed);
+}
+
+std::atomic<int> g_thread_override{0};  // 0 = automatic (env, then hardware)
+
+// One parallel region in flight. Workers claim chunk indices from `next`;
+// what a chunk computes depends only on its index, so the dynamic claim
+// order never affects results.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t num_chunks = 0;
+  std::uint64_t generation = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // first failure only, guarded by error_mutex
+  std::mutex error_mutex;
+  int executing = 0;  // workers currently inside Execute, guarded by pool mutex
+};
+
+// Claims and runs chunks until the job is drained (or failed). Called by
+// workers and by the submitting thread alike.
+void Execute(Job& job) {
+  tl_in_parallel = true;
+  for (;;) {
+    if (job.failed.load(std::memory_order_relaxed)) break;
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) break;
+    try {
+      (*job.fn)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock{job.error_mutex};
+      if (!job.error) job.error = std::current_exception();
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  tl_in_parallel = false;
+}
+
+// Fixed-size pool: N-1 persistent workers plus the submitting thread, so a
+// thread count of N uses exactly N threads per region.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& thread : threads_) thread.join();
+  }
+
+  int WorkerCount() const { return static_cast<int>(threads_.size()); }
+
+  void Run(std::size_t num_chunks, const std::function<void(std::size_t)>& fn) {
+    // One region at a time: concurrent top-level submitters queue up rather
+    // than clobbering each other's job slot.
+    std::lock_guard<std::mutex> submit_lock{submit_mutex_};
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->num_chunks = num_chunks;
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      job->generation = ++generation_;
+      job_ = job;
+    }
+    work_cv_.notify_all();
+
+    Execute(*job);  // the submitting thread participates
+
+    // All chunks are claimed once Execute returns; wait for workers still
+    // finishing theirs. Workers that wake late find no chunks and exit
+    // without touching `executing`, so this cannot miss completions.
+    std::unique_lock<std::mutex> lock{mutex_};
+    done_cv_.wait(lock, [&] { return job->executing == 0; });
+    if (job_ == job) job_ = nullptr;
+    lock.unlock();
+
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  void WorkerLoop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock{mutex_};
+        work_cv_.wait(lock, [&] {
+          return stop_ || (job_ != nullptr && job_->generation != seen_generation);
+        });
+        if (stop_) return;
+        job = job_;
+        seen_generation = job->generation;
+        ++job->executing;
+      }
+      Execute(*job);
+      {
+        std::lock_guard<std::mutex> lock{mutex_};
+        --job->executing;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex submit_mutex_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+// Lazily (re)built to match the configured thread count. Guarded by a mutex
+// so concurrent first-use is safe; resize only happens between regions.
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool& PoolFor(int threads) {
+  std::lock_guard<std::mutex> lock{g_pool_mutex};
+  if (g_pool == nullptr || g_pool->WorkerCount() != threads - 1) {
+    g_pool.reset();  // join old workers before spawning the new set
+    g_pool = std::make_unique<ThreadPool>(threads - 1);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+int ThreadCount() {
+  const int override_count = g_thread_override.load(std::memory_order_relaxed);
+  if (override_count > 0) return override_count;
+  const int env = EnvThreads();
+  return env > 0 ? env : HardwareThreads();
+}
+
+void SetThreadCount(int threads) {
+  DCN_REQUIRE(!tl_in_parallel,
+              "SetThreadCount must not be called inside a parallel region");
+  g_thread_override.store(threads > 0 ? threads : 0, std::memory_order_relaxed);
+}
+
+void ConfigureThreads(const CliArgs& args) {
+  const std::int64_t threads = args.GetInt("threads", 0);
+  DCN_REQUIRE(threads >= 0, "--threads must be >= 0 (0 = automatic)");
+  SetThreadCount(static_cast<int>(threads));
+}
+
+bool InParallelRegion() { return tl_in_parallel; }
+
+namespace detail {
+
+void RunChunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  const int threads = ThreadCount();
+  if (threads <= 1 || num_chunks == 1 || tl_in_parallel) {
+    // Serial path: same chunks, ascending order. Nested regions land here so
+    // a worker can safely call into parallel-aware library code.
+    const bool was_nested = tl_in_parallel;
+    tl_in_parallel = true;
+    try {
+      for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
+    } catch (...) {
+      tl_in_parallel = was_nested;
+      throw;
+    }
+    tl_in_parallel = was_nested;
+    return;
+  }
+  PoolFor(threads).Run(num_chunks, fn);
+}
+
+}  // namespace detail
+}  // namespace dcn

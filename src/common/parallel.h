@@ -1,0 +1,102 @@
+// Deterministic thread-pool parallelism for the embarrassingly parallel hot
+// loops (all-pairs BFS, max-flow pair sampling, Monte Carlo fault trials,
+// bulk route construction).
+//
+// Design rules that make parallel results reproducible:
+//  * Work is split into FIXED chunks whose boundaries depend only on (n,
+//    chunk) — never on the thread count. Threads claim chunks dynamically,
+//    but what each chunk computes is fully determined by its index.
+//  * Reductions merge per-chunk partials in ascending chunk order on the
+//    calling thread, so floating-point results are bit-identical for ANY
+//    thread count, including the serial path (`DCN_THREADS=1`), which runs
+//    the very same chunks in the very same merge order inline.
+//  * Randomized tasks derive an independent stream per chunk/index via
+//    `Rng::Fork(index)` instead of sharing one sequential stream.
+//
+// Thread count resolution: SetThreadCount() (tests, CLI --threads) wins,
+// else the DCN_THREADS environment variable, else hardware_concurrency.
+// A count of 1 bypasses the pool entirely. Nested ParallelFor calls from
+// inside a worker run serially inline (safe, never deadlocks).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dcn {
+
+class CliArgs;
+
+// Effective worker count for the next parallel region (always >= 1).
+int ThreadCount();
+
+// Overrides the thread count; <= 0 restores the automatic resolution
+// (DCN_THREADS env var, else hardware_concurrency). Must not be called from
+// inside a parallel region. The pool is resized lazily on next use.
+void SetThreadCount(int threads);
+
+// Applies a `--threads=N` flag if present (0 or absent = automatic).
+void ConfigureThreads(const CliArgs& args);
+
+// True while the calling thread is executing inside a parallel region;
+// exposed so callers can assert against unintended nesting.
+bool InParallelRegion();
+
+namespace detail {
+// Runs fn(chunk_index) for every chunk in [0, num_chunks); chunks are claimed
+// dynamically by the pool workers plus the calling thread. Blocks until all
+// chunks completed; rethrows the first exception thrown by fn (remaining
+// chunks are skipped on failure). Serial (in order) when ThreadCount() == 1,
+// num_chunks <= 1, or the caller is already inside a parallel region.
+void RunChunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn);
+}  // namespace detail
+
+// Number of fixed chunks covering [0, n) at the given chunk size.
+inline std::size_t ChunkCount(std::size_t n, std::size_t chunk) {
+  DCN_REQUIRE(chunk > 0, "ParallelFor chunk size must be positive");
+  return n == 0 ? 0 : (n + chunk - 1) / chunk;
+}
+
+// Parallel loop over [0, n) in fixed chunks of `chunk` indices:
+// fn(begin, end) for each half-open sub-range. fn must only touch state
+// disjoint across chunks (e.g. distinct slots of a pre-sized vector).
+inline void ParallelFor(std::size_t n, std::size_t chunk,
+                        const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t chunks = ChunkCount(n, chunk);
+  detail::RunChunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    fn(begin, std::min(n, begin + chunk));
+  });
+}
+
+// Parallel map-reduce over [0, n): `map(begin, end)` produces one partial per
+// fixed chunk; partials are folded on the calling thread in ascending chunk
+// order via `acc = reduce(std::move(acc), std::move(partial))`. The fixed
+// chunking + fixed merge order is what makes floating-point reductions
+// bit-identical across thread counts. The partial type may differ from the
+// accumulator type.
+template <typename T, typename MapFn, typename ReduceFn>
+T ParallelMapReduce(std::size_t n, std::size_t chunk, T init, MapFn map,
+                    ReduceFn reduce) {
+  using Partial = std::decay_t<decltype(map(std::size_t{}, std::size_t{}))>;
+  const std::size_t chunks = ChunkCount(n, chunk);
+  if (chunks == 0) return init;
+  std::vector<std::optional<Partial>> partials(chunks);
+  detail::RunChunks(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    partials[c].emplace(map(begin, std::min(n, begin + chunk)));
+  });
+  T acc = std::move(init);
+  for (std::optional<Partial>& partial : partials) {
+    acc = reduce(std::move(acc), std::move(*partial));
+  }
+  return acc;
+}
+
+}  // namespace dcn

@@ -42,6 +42,15 @@ bool Rng::NextBernoulli(double p) {
 
 Rng Rng::Fork() { return Rng{(*this)() ^ 0x5851f42d4c957f2dull}; }
 
+Rng Rng::Fork(std::uint64_t index) const {
+  // One SplitMix64 output step over a state offset by the stream index; the
+  // +1 keeps Fork(0) distinct from the parent's own next output.
+  std::uint64_t z = state_ + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return Rng{z ^ (z >> 31)};
+}
+
 std::vector<std::size_t> RandomPermutation(std::size_t size, Rng& rng) {
   std::vector<std::size_t> perm(size);
   for (std::size_t i = 0; i < size; ++i) perm[i] = i;

@@ -58,6 +58,13 @@ class Rng {
   // components draw without perturbing each other's streams.
   Rng Fork();
 
+  // A statistically independent stream keyed by `index`, WITHOUT advancing
+  // this generator: Fork(i) is a pure function of (current state, i). This is
+  // the primitive behind deterministic parallelism — task i draws from
+  // Fork(i), so results are independent of how tasks are scheduled across
+  // threads. Distinct indices give uncorrelated streams (SplitMix64 mix).
+  Rng Fork(std::uint64_t index) const;
+
  private:
   std::uint64_t state_;
 };

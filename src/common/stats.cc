@@ -68,6 +68,13 @@ void IntHistogram::Add(std::int64_t value, std::int64_t weight) {
   total_ += weight;
 }
 
+void IntHistogram::Merge(const IntHistogram& other) {
+  for (const auto& [value, weight] : other.buckets_) {
+    buckets_[value] += weight;
+    total_ += weight;
+  }
+}
+
 double IntHistogram::Mean() const {
   DCN_REQUIRE(total_ > 0, "IntHistogram::Mean on empty histogram");
   double acc = 0.0;

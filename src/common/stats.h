@@ -36,6 +36,9 @@ class OnlineStats {
 class IntHistogram {
  public:
   void Add(std::int64_t value, std::int64_t weight = 1);
+  // Adds every bucket of `other`; order-insensitive (exact integer counts),
+  // so parallel partials merge to the same histogram in any order.
+  void Merge(const IntHistogram& other);
 
   std::int64_t Count() const { return total_; }
   double Mean() const;

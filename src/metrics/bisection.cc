@@ -1,5 +1,11 @@
 #include "metrics/bisection.h"
 
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "graph/paths.h"
 #include "graph/maxflow.h"
 
 namespace dcn::metrics {
@@ -9,6 +15,53 @@ std::int64_t MeasureBisection(const topo::Topology& net,
   const auto [side_a, side_b] = net.BisectionHalves();
   return graph::MinCutBetween(net.Network(), side_a, side_b, /*edge_capacity=*/1,
                               failures);
+}
+
+PairCutStats SampledPairCuts(const topo::Topology& net, std::size_t pairs,
+                             Rng& rng) {
+  DCN_REQUIRE(pairs > 0, "need at least one sampled pair");
+  const graph::Graph& g = net.Network();
+  const auto servers = g.Servers();
+  DCN_REQUIRE(servers.size() >= 2, "need at least two servers to sample cuts");
+
+  const Rng base = rng.Fork();
+
+  struct Partial {
+    IntHistogram cuts;
+    std::int64_t min_cut = std::numeric_limits<std::int64_t>::max();
+    std::int64_t sum = 0;
+  };
+  const Partial merged = ParallelMapReduce(
+      pairs, /*chunk=*/4, Partial{},
+      [&](std::size_t begin, std::size_t end) {
+        Partial partial;
+        for (std::size_t i = begin; i < end; ++i) {
+          Rng pair_rng = base.Fork(i);
+          const graph::NodeId src =
+              servers[pair_rng.NextUint64(servers.size())];
+          graph::NodeId dst = src;
+          while (dst == src) dst = servers[pair_rng.NextUint64(servers.size())];
+          const auto cut = static_cast<std::int64_t>(
+              graph::EdgeConnectivity(g, src, dst));
+          partial.cuts.Add(cut);
+          partial.min_cut = std::min(partial.min_cut, cut);
+          partial.sum += cut;
+        }
+        return partial;
+      },
+      [](Partial acc, Partial partial) {
+        acc.cuts.Merge(partial.cuts);
+        acc.min_cut = std::min(acc.min_cut, partial.min_cut);
+        acc.sum += partial.sum;
+        return acc;
+      });
+
+  PairCutStats stats;
+  stats.cuts = merged.cuts;
+  stats.min_cut = merged.min_cut;
+  stats.mean_cut =
+      static_cast<double>(merged.sum) / static_cast<double>(pairs);
+  return stats;
 }
 
 }  // namespace dcn::metrics

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
+#include "common/stats.h"
 #include "graph/graph.h"
 #include "topology/topology.h"
 
@@ -14,5 +16,19 @@ namespace dcn::metrics {
 // value is Topology::TheoreticalBisection().
 std::int64_t MeasureBisection(const topo::Topology& net,
                               const graph::FailureSet* failures = nullptr);
+
+struct PairCutStats {
+  IntHistogram cuts;          // per-pair min cut (link-disjoint path count)
+  std::int64_t min_cut = 0;   // weakest sampled pair
+  double mean_cut = 0.0;
+};
+
+// Monte Carlo counterpart of the canonical-cut measurement: max-flow between
+// `pairs` random distinct server pairs (each flow = that pair's link
+// connectivity). One Dinic run per pair, executed in parallel; pair i draws
+// from rng.Fork(i), so the sample set is identical for any thread count.
+// Requires >= 2 servers and pairs > 0.
+PairCutStats SampledPairCuts(const topo::Topology& net, std::size_t pairs,
+                             Rng& rng);
 
 }  // namespace dcn::metrics

@@ -3,28 +3,73 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "graph/bfs.h"
 
 namespace dcn::metrics {
+namespace {
+
+// Sources per parallel chunk. One BFS is already a chunky unit of work;
+// small chunks keep the pool busy on networks with few servers per thread.
+constexpr std::size_t kBfsChunk = 4;
+
+// Per-chunk partial of the sampled statistics; merged in fixed chunk order.
+struct SamplePartial {
+  IntHistogram shortest;
+  IntHistogram routed;
+  double stretch_sum = 0.0;
+  std::uint64_t stretch_count = 0;
+  int diameter_lower_bound = 0;
+};
+
+}  // namespace
 
 ExactPathStats ExactServerPathStats(const topo::Topology& net) {
   const graph::Graph& g = net.Network();
+  const auto servers = g.Servers();
+
+  // One BFS per source; per-chunk partials merge in ascending chunk order,
+  // and the sums involved are exact small integers, so the result is
+  // bit-identical for any thread count.
+  struct Partial {
+    int diameter = 0;
+    double total = 0.0;
+    std::uint64_t pairs = 0;
+    bool connected = true;
+  };
+  const Partial merged = ParallelMapReduce(
+      servers.size(), kBfsChunk, Partial{},
+      [&](std::size_t begin, std::size_t end) {
+        Partial partial;
+        for (std::size_t s = begin; s < end; ++s) {
+          const std::vector<int> dist = graph::BfsDistances(g, servers[s]);
+          for (const graph::NodeId dst : servers) {
+            if (dst == servers[s]) continue;
+            if (dist[dst] == graph::kUnreachable) {
+              partial.connected = false;
+              continue;
+            }
+            partial.diameter = std::max(partial.diameter, dist[dst]);
+            partial.total += dist[dst];
+            ++partial.pairs;
+          }
+        }
+        return partial;
+      },
+      [](Partial acc, Partial partial) {
+        acc.diameter = std::max(acc.diameter, partial.diameter);
+        acc.total += partial.total;
+        acc.pairs += partial.pairs;
+        acc.connected = acc.connected && partial.connected;
+        return acc;
+      });
+
   ExactPathStats stats;
-  double total = 0.0;
-  for (const graph::NodeId src : g.Servers()) {
-    const std::vector<int> dist = graph::BfsDistances(g, src);
-    for (const graph::NodeId dst : g.Servers()) {
-      if (dst == src) continue;
-      if (dist[dst] == graph::kUnreachable) {
-        stats.connected = false;
-        continue;
-      }
-      stats.diameter = std::max(stats.diameter, dist[dst]);
-      total += dist[dst];
-      ++stats.pairs;
-    }
-  }
-  stats.average = stats.pairs > 0 ? total / static_cast<double>(stats.pairs) : 0.0;
+  stats.diameter = merged.diameter;
+  stats.pairs = merged.pairs;
+  stats.connected = merged.connected;
+  stats.average =
+      merged.pairs > 0 ? merged.total / static_cast<double>(merged.pairs) : 0.0;
   return stats;
 }
 
@@ -37,31 +82,57 @@ SampledPathStats SamplePathStats(const topo::Topology& net,
   const auto servers = g.Servers();
   DCN_REQUIRE(servers.size() >= 2, "need at least two servers to sample paths");
 
+  // Each source sample s draws from its own stream base.Fork(s), so samples
+  // are independent of which thread runs them; the caller's rng advances
+  // exactly once regardless of the sample count.
+  const Rng base = rng.Fork();
+
+  const SamplePartial merged = ParallelMapReduce(
+      source_samples, /*chunk=*/1, SamplePartial{},
+      [&](std::size_t begin, std::size_t end) {
+        SamplePartial partial;
+        for (std::size_t s = begin; s < end; ++s) {
+          Rng sample_rng = base.Fork(s);
+          const graph::NodeId src =
+              servers[sample_rng.NextUint64(servers.size())];
+          const std::vector<int> dist = graph::BfsDistances(g, src);
+          for (const graph::NodeId server : servers) {
+            if (server != src && dist[server] != graph::kUnreachable) {
+              partial.diameter_lower_bound =
+                  std::max(partial.diameter_lower_bound, dist[server]);
+            }
+          }
+          for (std::size_t p = 0; p < pairs_per_source; ++p) {
+            graph::NodeId dst = src;
+            while (dst == src) dst = servers[sample_rng.NextUint64(servers.size())];
+            DCN_ASSERT(dist[dst] != graph::kUnreachable);
+            const auto routed =
+                static_cast<std::int64_t>(net.Route(src, dst).size()) - 1;
+            partial.shortest.Add(dist[dst]);
+            partial.routed.Add(routed);
+            partial.stretch_sum +=
+                static_cast<double>(routed) / static_cast<double>(dist[dst]);
+            ++partial.stretch_count;
+          }
+        }
+        return partial;
+      },
+      [](SamplePartial acc, SamplePartial partial) {
+        acc.shortest.Merge(partial.shortest);
+        acc.routed.Merge(partial.routed);
+        acc.stretch_sum += partial.stretch_sum;
+        acc.stretch_count += partial.stretch_count;
+        acc.diameter_lower_bound =
+            std::max(acc.diameter_lower_bound, partial.diameter_lower_bound);
+        return acc;
+      });
+
   SampledPathStats stats;
-  double stretch_sum = 0.0;
-  std::uint64_t stretch_count = 0;
-  for (std::size_t s = 0; s < source_samples; ++s) {
-    const graph::NodeId src = servers[rng.NextUint64(servers.size())];
-    const std::vector<int> dist = graph::BfsDistances(g, src);
-    for (const graph::NodeId server : servers) {
-      if (server != src && dist[server] != graph::kUnreachable) {
-        stats.diameter_lower_bound =
-            std::max(stats.diameter_lower_bound, dist[server]);
-      }
-    }
-    for (std::size_t p = 0; p < pairs_per_source; ++p) {
-      graph::NodeId dst = src;
-      while (dst == src) dst = servers[rng.NextUint64(servers.size())];
-      DCN_ASSERT(dist[dst] != graph::kUnreachable);
-      const auto routed =
-          static_cast<std::int64_t>(net.Route(src, dst).size()) - 1;
-      stats.shortest.Add(dist[dst]);
-      stats.routed.Add(routed);
-      stretch_sum += static_cast<double>(routed) / static_cast<double>(dist[dst]);
-      ++stretch_count;
-    }
-  }
-  stats.mean_stretch = stretch_sum / static_cast<double>(stretch_count);
+  stats.shortest = merged.shortest;
+  stats.routed = merged.routed;
+  stats.diameter_lower_bound = merged.diameter_lower_bound;
+  stats.mean_stretch =
+      merged.stretch_sum / static_cast<double>(merged.stretch_count);
   return stats;
 }
 

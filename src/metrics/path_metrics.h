@@ -20,8 +20,10 @@ struct ExactPathStats {
 };
 
 // BFS from every server: exact diameter and average shortest server-to-server
-// path length. Cost O(S * (V + E)); intended for networks up to a few
-// thousand servers.
+// path length. Cost O(S * (V + E)), parallelized across sources over the
+// DCN_THREADS pool (common/parallel.h) with bit-identical results for any
+// thread count — tens of thousands of servers are practical on a multicore
+// host.
 ExactPathStats ExactServerPathStats(const topo::Topology& net);
 
 struct SampledPathStats {
@@ -36,7 +38,9 @@ struct SampledPathStats {
 };
 
 // BFS from `source_samples` random servers; for each source, native routes to
-// `pairs_per_source` random distinct destinations. Deterministic given rng.
+// `pairs_per_source` random distinct destinations. Runs sources in parallel;
+// each sample draws from its own rng.Fork(index) stream, so the result is a
+// pure function of (net, counts, rng state) — the same for any thread count.
 SampledPathStats SamplePathStats(const topo::Topology& net,
                                  std::size_t source_samples,
                                  std::size_t pairs_per_source, Rng& rng);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "graph/bfs.h"
 
 namespace dcn::metrics {
@@ -18,23 +19,42 @@ double PairDisconnectionFraction(const topo::Topology& net,
   }
   if (alive.size() < 2) return 0.0;
 
-  std::size_t disconnected = 0;
-  std::size_t measured = 0;
-  // Group samples by source so one BFS serves many pairs.
+  // Group samples by source so one BFS serves many pairs; each source trial
+  // draws from its own base.Fork(s) stream and the disconnected/measured
+  // counts are integers, so the fraction is thread-count-invariant.
   const std::size_t sources =
       std::min<std::size_t>(alive.size(), std::max<std::size_t>(1, sample_pairs / 16));
   const std::size_t pairs_per_source = (sample_pairs + sources - 1) / sources;
-  for (std::size_t s = 0; s < sources; ++s) {
-    const graph::NodeId src = alive[rng.NextUint64(alive.size())];
-    const std::vector<int> dist = graph::BfsDistances(g, src, &failures);
-    for (std::size_t p = 0; p < pairs_per_source; ++p) {
-      graph::NodeId dst = src;
-      while (dst == src) dst = alive[rng.NextUint64(alive.size())];
-      ++measured;
-      if (dist[dst] == graph::kUnreachable) ++disconnected;
-    }
-  }
-  return static_cast<double>(disconnected) / static_cast<double>(measured);
+  const Rng base = rng.Fork();
+
+  struct Partial {
+    std::size_t disconnected = 0;
+    std::size_t measured = 0;
+  };
+  const Partial merged = ParallelMapReduce(
+      sources, /*chunk=*/1, Partial{},
+      [&](std::size_t begin, std::size_t end) {
+        Partial partial;
+        for (std::size_t s = begin; s < end; ++s) {
+          Rng trial_rng = base.Fork(s);
+          const graph::NodeId src = alive[trial_rng.NextUint64(alive.size())];
+          const std::vector<int> dist = graph::BfsDistances(g, src, &failures);
+          for (std::size_t p = 0; p < pairs_per_source; ++p) {
+            graph::NodeId dst = src;
+            while (dst == src) dst = alive[trial_rng.NextUint64(alive.size())];
+            ++partial.measured;
+            if (dist[dst] == graph::kUnreachable) ++partial.disconnected;
+          }
+        }
+        return partial;
+      },
+      [](Partial acc, Partial partial) {
+        acc.disconnected += partial.disconnected;
+        acc.measured += partial.measured;
+        return acc;
+      });
+  return static_cast<double>(merged.disconnected) /
+         static_cast<double>(merged.measured);
 }
 
 double ServerLossFraction(const topo::Topology& net,
@@ -75,15 +95,25 @@ double WorstSingleSwitchDisconnection(const topo::Topology& net,
     rng.Shuffle(switches);
     switches.resize(sample_switches);
   }
-  double worst = 0.0;
-  for (const graph::NodeId sw : switches) {
-    graph::FailureSet failures{g};
-    failures.KillNode(sw);
-    Rng pair_rng = rng.Fork();
-    worst = std::max(
-        worst, PairDisconnectionFraction(net, failures, sample_pairs, pair_rng));
-  }
-  return worst;
+
+  // One kill-trial per switch, each with its own base.Fork(index) stream;
+  // the max over trials is order-insensitive, so any thread count gives the
+  // same worst case.
+  const Rng base = rng.Fork();
+  return ParallelMapReduce(
+      switches.size(), /*chunk=*/1, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double worst = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          graph::FailureSet failures{g};
+          failures.KillNode(switches[i]);
+          Rng pair_rng = base.Fork(i);
+          worst = std::max(worst, PairDisconnectionFraction(
+                                      net, failures, sample_pairs, pair_rng));
+        }
+        return worst;
+      },
+      [](double acc, double partial) { return std::max(acc, partial); });
 }
 
 }  // namespace dcn::metrics

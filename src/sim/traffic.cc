@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace dcn::sim {
 
@@ -69,6 +70,19 @@ std::vector<Flow> BisectionTraffic(const topo::Topology& net, Rng& rng) {
     flows.push_back(Flow{side_b[i], side_a[i]});
   }
   return flows;
+}
+
+std::vector<routing::Route> NativeRoutes(const topo::Topology& net,
+                                         const std::vector<Flow>& flows) {
+  std::vector<routing::Route> routes(flows.size());
+  // Each slot is written by exactly one chunk; Route() is a const query on
+  // the immutable topology, so this is safely and deterministically parallel.
+  ParallelFor(flows.size(), /*chunk=*/64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t f = begin; f < end; ++f) {
+      routes[f] = routing::Route{net.Route(flows[f].src, flows[f].dst)};
+    }
+  });
+  return routes;
 }
 
 }  // namespace dcn::sim

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "routing/route.h"
 #include "topology/topology.h"
 
 namespace dcn::sim {
@@ -31,5 +32,12 @@ std::vector<Flow> ManyToOneTraffic(const topo::Topology& net,
 // A random perfect matching across the canonical bisection halves, both
 // directions — the workload that stresses the bisection cut.
 std::vector<Flow> BisectionTraffic(const topo::Topology& net, Rng& rng);
+
+// One native route per flow (the topology's own routing algorithm), computed
+// in parallel — this is the route-construction step feeding MaxMinFairRates
+// and the fluid simulator. Output order matches `flows`; Topology::Route is
+// deterministic, so the result is independent of the thread count.
+std::vector<routing::Route> NativeRoutes(const topo::Topology& net,
+                                         const std::vector<Flow>& flows);
 
 }  // namespace dcn::sim

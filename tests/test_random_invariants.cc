@@ -5,9 +5,12 @@
 
 #include <memory>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "graph/bfs.h"
 #include "metrics/bisection.h"
+#include "metrics/path_metrics.h"
+#include "metrics/resilience.h"
 #include "routing/broadcast.h"
 #include "routing/fault_routing.h"
 #include "routing/forwarding.h"
@@ -16,6 +19,7 @@
 #include "sim/flowsim.h"
 #include "sim/traffic.h"
 #include "topology/abccc.h"
+#include "topology/custom.h"
 #include "topology/expansion.h"
 #include "topology/gabccc.h"
 
@@ -154,6 +158,91 @@ TEST_P(RandomGeneralInvariants, StructureRoutingBroadcast) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeneralInvariants,
                          ::testing::Range<std::uint64_t>(1, 17));
+
+// Parallel-vs-serial battery: random `custom` topologies (no algebraic
+// structure to lean on), every parallelized metric cross-checked bit-exact
+// against the DCN_THREADS=1 path at an awkward thread count.
+class RandomParallelInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void TearDown() override { SetThreadCount(0); }
+};
+
+// A random connected server/switch plant in the custom edge-list format:
+// a random spanning tree plus extra chords.
+std::string RandomPlant(Rng& rng) {
+  const std::size_t nodes = static_cast<std::size_t>(rng.NextInt(12, 40));
+  std::string text;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    // Nodes 0 and 1 are forced servers so sampled metrics always have pairs.
+    const bool server = i < 2 || rng.NextBernoulli(0.6);
+    text += "node " + std::to_string(i) + (server ? " server\n" : " switch\n");
+  }
+  for (std::size_t i = 1; i < nodes; ++i) {
+    text += "link " + std::to_string(i) + " " +
+            std::to_string(rng.NextUint64(i)) + "\n";
+  }
+  const std::size_t chords = static_cast<std::size_t>(rng.NextInt(0, 12));
+  for (std::size_t e = 0; e < chords; ++e) {
+    const std::size_t u = rng.NextUint64(nodes);
+    const std::size_t v = rng.NextUint64(nodes);
+    if (u == v) continue;
+    text += "link " + std::to_string(u) + " " + std::to_string(v) + "\n";
+  }
+  return text;
+}
+
+TEST_P(RandomParallelInvariants, ParallelMetricsMatchSerialBitForBit) {
+  Rng rng{GetParam() * 7919 + 31};
+  const std::string plant = RandomPlant(rng);
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + " plant:\n" + plant);
+  const topo::CustomTopology net = topo::CustomTopology::FromString(plant);
+  const std::uint64_t metric_seed = rng();
+
+  struct Results {
+    metrics::ExactPathStats exact;
+    metrics::SampledPathStats sampled;
+    metrics::PairCutStats cuts;
+    double disconnection = 0.0;
+    double worst_switch = 0.0;
+  };
+  const auto measure = [&] {
+    Results r;
+    r.exact = metrics::ExactServerPathStats(net);
+    Rng metric_rng{metric_seed};
+    r.sampled = metrics::SamplePathStats(net, 4, 6, metric_rng);
+    r.cuts = metrics::SampledPairCuts(net, 8, metric_rng);
+    graph::FailureSet failures{net.Network()};
+    failures.KillNode(net.Servers()[0]);
+    r.disconnection =
+        metrics::PairDisconnectionFraction(net, failures, 48, metric_rng);
+    if (net.SwitchCount() > 0) {
+      r.worst_switch =
+          metrics::WorstSingleSwitchDisconnection(net, 24, 4, metric_rng);
+    }
+    return r;
+  };
+
+  SetThreadCount(1);
+  const Results serial = measure();
+  SetThreadCount(3);  // odd count, does not divide most chunk counts
+  const Results parallel = measure();
+
+  ASSERT_EQ(serial.exact.diameter, parallel.exact.diameter);
+  ASSERT_EQ(serial.exact.average, parallel.exact.average);
+  ASSERT_EQ(serial.exact.pairs, parallel.exact.pairs);
+  ASSERT_EQ(serial.exact.connected, parallel.exact.connected);
+  ASSERT_EQ(serial.sampled.shortest.Buckets(), parallel.sampled.shortest.Buckets());
+  ASSERT_EQ(serial.sampled.routed.Buckets(), parallel.sampled.routed.Buckets());
+  ASSERT_EQ(serial.sampled.mean_stretch, parallel.sampled.mean_stretch);
+  ASSERT_EQ(serial.cuts.cuts.Buckets(), parallel.cuts.cuts.Buckets());
+  ASSERT_EQ(serial.cuts.min_cut, parallel.cuts.min_cut);
+  ASSERT_EQ(serial.cuts.mean_cut, parallel.cuts.mean_cut);
+  ASSERT_EQ(serial.disconnection, parallel.disconnection);
+  ASSERT_EQ(serial.worst_switch, parallel.worst_switch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomParallelInvariants,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace dcn
