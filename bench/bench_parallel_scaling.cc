@@ -7,8 +7,11 @@
 // Unlike the F-benches this binary measures TIME, so the timing columns vary
 // run to run; the `identical` column and the metric values themselves are
 // deterministic. Flags: --n/--k/--c (topology), --pairs, --trials,
-// --repeats, --threads-max.
+// --repeats, --threads-max, --json (machine-readable output for
+// scripts/bench_json.sh: a JSON array of kernel/threads/time_ms/identical
+// rows instead of the table).
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -52,12 +55,15 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(args.GetInt("trials", 24));
   const int repeats = static_cast<int>(args.GetInt("repeats", 3));
   const int threads_max = static_cast<int>(args.GetInt("threads-max", 8));
+  const bool json = args.Has("json");
 
-  bench::PrintHeader("M2", "deterministic thread-pool scaling of metric kernels");
   const topo::Abccc net{params};
-  std::cout << net.Describe() << ": " << net.ServerCount() << " servers, "
-            << net.SwitchCount() << " switches, " << net.LinkCount()
-            << " links\n\n";
+  if (!json) {
+    bench::PrintHeader("M2", "deterministic thread-pool scaling of metric kernels");
+    std::cout << net.Describe() << ": " << net.ServerCount() << " servers, "
+              << net.SwitchCount() << " switches, " << net.LinkCount()
+              << " links\n\n";
+  }
 
   // Each kernel returns a digest of its results; digests must not depend on
   // the thread count.
@@ -93,7 +99,14 @@ int main(int argc, char** argv) {
        }},
   };
 
-  Table table{{"kernel", "threads", "time-ms", "speedup", "identical"}};
+  struct Row {
+    std::string kernel;
+    int threads = 0;
+    double ms = 0.0;
+    double speedup = 0.0;
+    bool identical = false;
+  };
+  std::vector<Row> rows;
   for (const Kernel& kernel : kernels) {
     double serial_ms = 0.0;
     double serial_digest = 0.0;
@@ -105,12 +118,31 @@ int main(int argc, char** argv) {
         serial_ms = ms;
         serial_digest = digest;
       }
-      table.AddRow({kernel.name, Table::Cell(threads), Table::Cell(ms, 1),
-                    Table::Cell(serial_ms / ms, 2),
-                    digest == serial_digest ? "yes" : "NO"});
+      rows.push_back(Row{kernel.name, threads, ms, serial_ms / ms,
+                         digest == serial_digest});
     }
   }
   SetThreadCount(0);
+
+  if (json) {
+    std::printf("[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::printf(
+          "{\"kernel\": \"%s\", \"threads\": %d, \"time_ms\": %.1f, "
+          "\"identical\": %s}%s\n",
+          row.kernel.c_str(), row.threads, row.ms,
+          row.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("]\n");
+    return 0;
+  }
+
+  Table table{{"kernel", "threads", "time-ms", "speedup", "identical"}};
+  for (const Row& row : rows) {
+    table.AddRow({row.kernel, Table::Cell(row.threads), Table::Cell(row.ms, 1),
+                  Table::Cell(row.speedup, 2), row.identical ? "yes" : "NO"});
+  }
   table.Print(std::cout, "M2: scaling at 1.." + std::to_string(threads_max) +
                              " threads");
   std::cout << "\nExpected shape: near-linear speedup for the BFS and "

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_core.json, the committed perf-regression reference.
+#
+# Runs the two benchmark binaries in --json mode (fixed kernels, pinned
+# seeds/sizes) and assembles their output into one document:
+#   { "micro":   [ {name, ns_per_op, baseline_ns_per_op?, speedup?} ... ],
+#     "scaling": [ {kernel, threads, time_ms, identical} ... ] }
+# `micro` numbers are single-thread ns/op with in-process legacy baselines;
+# `scaling` rows re-check the determinism contract at 1..8 threads.
+#
+# Timings are machine-relative: regenerate on the machine you compare on.
+# scripts/check.sh --bench diffs a fresh run against the committed file.
+#
+# Usage: scripts/bench_json.sh [output-file]   (default: BENCH_core.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_core.json}"
+
+cmake --preset release > /dev/null
+cmake --build --preset release -j "${JOBS:-$(nproc)}" > /dev/null
+
+{
+  echo '{'
+  echo '"micro":'
+  ./build/bench/bench_micro --json
+  echo ','
+  echo '"scaling":'
+  ./build/bench/bench_parallel_scaling --json
+  echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

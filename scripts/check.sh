@@ -4,16 +4,61 @@
 # oversubscribed thread count so scheduling interleavings vary; the
 # determinism suites then prove results are still bit-identical.
 #
-# Usage: scripts/check.sh [extra ctest args...]
+# With --bench, additionally re-runs the fixed micro-kernel set (bench_micro
+# --json) and compares ns/op against the committed BENCH_core.json reference.
+# Kernels slower than BENCH_TOLERANCE (default 2.0x — the reference numbers
+# are machine-relative) produce a warning, never a failure.
+#
+# Usage: scripts/check.sh [--bench] [extra ctest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
+BENCH=0
+CTEST_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --bench) BENCH=1 ;;
+    *) CTEST_ARGS+=("$arg") ;;
+  esac
+done
+
 echo "== Release build + tests =="
 cmake --preset release
 cmake --build --preset release -j "$JOBS"
-ctest --preset release -j "$JOBS" "$@"
+ctest --preset release -j "$JOBS" ${CTEST_ARGS+"${CTEST_ARGS[@]}"}
+
+if [ "$BENCH" -eq 1 ]; then
+  echo
+  echo "== Perf regression check vs BENCH_core.json (warn-only) =="
+  extract_micro() {
+    grep -o '"name": "[^"]*", "ns_per_op": [0-9]*' "$1" \
+      | sed 's/"name": "//; s/", "ns_per_op": / /'
+  }
+  ./build/bench/bench_micro --json > build/bench_micro_fresh.json
+  extract_micro BENCH_core.json > build/bench_ref.txt
+  extract_micro build/bench_micro_fresh.json > build/bench_fresh.txt
+  awk -v tol="${BENCH_TOLERANCE:-2.0}" '
+    NR == FNR { ref[$1] = $2; next }
+    { fresh[$1] = $2 }
+    END {
+      warned = 0
+      for (k in ref) {
+        if (!(k in fresh)) {
+          printf "warning: kernel %s missing from fresh run\n", k; warned = 1
+          continue
+        }
+        r = fresh[k] / ref[k]
+        if (r > tol) {
+          printf "warning: %s is %.2fx slower than BENCH_core.json (%d vs %d ns/op)\n", \
+                 k, r, fresh[k], ref[k]
+          warned = 1
+        }
+      }
+      if (!warned) print "bench: all kernels within tolerance of BENCH_core.json"
+    }' build/bench_ref.txt build/bench_fresh.txt
+fi
 
 echo
 echo "== ThreadSanitizer build + tests =="

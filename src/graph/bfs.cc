@@ -1,60 +1,85 @@
 #include "graph/bfs.h"
 
-#include <deque>
-
 #include "common/error.h"
 
 namespace dcn::graph {
 
-std::vector<int> BfsDistances(const Graph& graph, NodeId src,
-                              const FailureSet* failures) {
-  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < graph.NodeCount(),
+namespace {
+
+void CheckSource(std::size_t node_count, NodeId src) {
+  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < node_count,
               "BFS source out of range");
-  std::vector<int> dist(graph.NodeCount(), kUnreachable);
-  if (failures != nullptr && failures->NodeDead(src)) return dist;
-  std::deque<NodeId> queue;
-  dist[src] = 0;
-  queue.push_back(src);
-  while (!queue.empty()) {
-    const NodeId node = queue.front();
-    queue.pop_front();
-    for (const HalfEdge& half : graph.Neighbors(node)) {
-      if (failures != nullptr && !failures->HalfEdgeUsable(half)) continue;
-      if (dist[half.to] != kUnreachable) continue;
-      dist[half.to] = dist[node] + 1;
-      queue.push_back(half.to);
-    }
-  }
-  return dist;
 }
 
-std::vector<NodeId> ShortestPath(const Graph& graph, NodeId src, NodeId dst,
+}  // namespace
+
+std::size_t BfsDistances(const CsrView& csr, NodeId src, TraversalWorkspace& ws,
+                         const FailureSet* failures) {
+  CheckSource(csr.NodeCount(), src);
+  ws.Begin(csr.NodeCount());
+  if (failures != nullptr && failures->NodeDead(src)) return 0;
+  std::vector<NodeId>& queue = ws.Frontier();
+  ws.Settle(src, 0);
+  queue.push_back(src);
+  if (failures == nullptr) {
+    // Distance-only sweep on the healthy graph: the all-pairs hot path. The
+    // parent-less Settle writes one word per settled node; the queue is
+    // level-ordered, so tracking the level boundary replaces a distance read
+    // per dequeued node; and the edge-blind adjacency array halves the bytes
+    // the neighbor scan touches.
+    int next = 1;
+    std::size_t level_end = queue.size();
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      if (head == level_end) {
+        ++next;
+        level_end = queue.size();
+      }
+      for (const NodeId to : csr.AdjacentNodes(queue[head])) {
+        if (ws.Settle(to, next)) queue.push_back(to);
+      }
+    }
+    return queue.size();
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId node = queue[head];
+    const int next = ws.Dist(node) + 1;
+    for (const HalfEdge& half : csr.Neighbors(node)) {
+      if (!failures->HalfEdgeUsable(half)) continue;
+      if (ws.Settle(half.to, next)) queue.push_back(half.to);
+    }
+  }
+  return queue.size();
+}
+
+std::vector<NodeId> ShortestPath(const CsrView& csr, NodeId src, NodeId dst,
+                                 TraversalWorkspace& ws,
                                  const FailureSet* failures) {
-  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < graph.NodeCount(),
-              "BFS source out of range");
-  DCN_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < graph.NodeCount(),
+  CheckSource(csr.NodeCount(), src);
+  DCN_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < csr.NodeCount(),
               "BFS destination out of range");
-  if (failures != nullptr && (failures->NodeDead(src) || failures->NodeDead(dst))) {
+  if (failures != nullptr &&
+      (failures->NodeDead(src) || failures->NodeDead(dst))) {
     return {};
   }
   if (src == dst) return {src};
 
-  std::vector<NodeId> parent(graph.NodeCount(), kInvalidNode);
-  std::vector<bool> seen(graph.NodeCount(), false);
-  std::deque<NodeId> queue;
-  seen[src] = true;
+  ws.Begin(csr.NodeCount());
+  std::vector<NodeId>& queue = ws.Frontier();
+  ws.Settle(src, 0, kInvalidNode);
   queue.push_back(src);
-  while (!queue.empty()) {
-    const NodeId node = queue.front();
-    queue.pop_front();
-    for (const HalfEdge& half : graph.Neighbors(node)) {
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId node = queue[head];
+    const int next = ws.Dist(node) + 1;
+    for (const HalfEdge& half : csr.Neighbors(node)) {
       if (failures != nullptr && !failures->HalfEdgeUsable(half)) continue;
-      if (seen[half.to]) continue;
-      seen[half.to] = true;
-      parent[half.to] = node;
+      if (!ws.Settle(half.to, next, node)) continue;
       if (half.to == dst) {
+        // Settled dst: stop the sweep and walk parents back to src.
         std::vector<NodeId> path;
-        for (NodeId at = dst; at != kInvalidNode; at = parent[at]) path.push_back(at);
+        path.reserve(static_cast<std::size_t>(next) + 1);
+        for (NodeId at = dst; at != kInvalidNode; at = ws.Parent(at)) {
+          path.push_back(at);
+        }
         return {path.rbegin(), path.rend()};
       }
       queue.push_back(half.to);
@@ -63,19 +88,37 @@ std::vector<NodeId> ShortestPath(const Graph& graph, NodeId src, NodeId dst,
   return {};
 }
 
+std::vector<int> BfsDistances(const Graph& graph, NodeId src,
+                              const FailureSet* failures) {
+  CheckSource(graph.NodeCount(), src);
+  TraversalScope ws;
+  BfsDistances(graph.Csr(), src, *ws, failures);
+  std::vector<int> dist(graph.NodeCount(), kUnreachable);
+  for (const NodeId node : ws->VisitOrder()) dist[node] = ws->DistSettled(node);
+  return dist;
+}
+
+std::vector<NodeId> ShortestPath(const Graph& graph, NodeId src, NodeId dst,
+                                 const FailureSet* failures) {
+  TraversalScope ws;
+  return ShortestPath(graph.Csr(), src, dst, *ws, failures);
+}
+
 std::size_t ReachableCount(const Graph& graph, NodeId src,
                            const FailureSet* failures) {
-  const std::vector<int> dist = BfsDistances(graph, src, failures);
-  std::size_t count = 0;
-  for (int d : dist) count += d != kUnreachable ? 1 : 0;
-  return count;
+  CheckSource(graph.NodeCount(), src);
+  TraversalScope ws;
+  // A dead src reaches 0 nodes — the same count the all-unreachable distance
+  // vector used to produce.
+  return BfsDistances(graph.Csr(), src, *ws, failures);
 }
 
 bool IsConnected(const Graph& graph, const FailureSet* failures) {
   if (graph.NodeCount() == 0) return true;
   NodeId start = kInvalidNode;
   std::size_t live = 0;
-  for (NodeId node = 0; static_cast<std::size_t>(node) < graph.NodeCount(); ++node) {
+  for (NodeId node = 0; static_cast<std::size_t>(node) < graph.NodeCount();
+       ++node) {
     if (failures != nullptr && failures->NodeDead(node)) continue;
     ++live;
     if (start == kInvalidNode) start = node;

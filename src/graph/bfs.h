@@ -1,15 +1,41 @@
 // Breadth-first search utilities. Distances are measured in *links* (a
 // server->switch->server relay counts as 2), the convention used by the
 // server-centric DCN literature for diameter and path-length comparisons.
+//
+// Two tiers:
+//  * CSR + workspace overloads — the allocation-free core the hot paths use.
+//    Results land in the caller's TraversalWorkspace (read via ws.Dist());
+//    repeated sweeps on one workspace cost O(frontier) to reset, not O(V).
+//  * Graph overloads — the original convenience signatures, now thin
+//    wrappers that run the CSR core on a borrowed per-thread workspace and
+//    materialize the classic return values.
 #pragma once
 
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/workspace.h"
 
 namespace dcn::graph {
 
-inline constexpr int kUnreachable = -1;
+// --- CSR core (allocation-free in steady state) ---------------------------
+
+// BFS from src over the CSR view; distances/parents land in `ws`. Returns the
+// number of nodes reached including src (0 if src is dead under `failures`).
+// After the call ws.VisitOrder() lists the reached nodes in settle order.
+std::size_t BfsDistances(const CsrView& csr, NodeId src, TraversalWorkspace& ws,
+                         const FailureSet* failures = nullptr);
+
+// A shortest path src..dst inclusive (node sequence), or empty if
+// unreachable. Early-exits the moment dst is settled instead of finishing the
+// full sweep — on its way out of a large network that saves nearly the whole
+// frontier beyond dist(dst).
+std::vector<NodeId> ShortestPath(const CsrView& csr, NodeId src, NodeId dst,
+                                 TraversalWorkspace& ws,
+                                 const FailureSet* failures = nullptr);
+
+// --- Graph wrappers (original signatures) ----------------------------------
 
 // Distance (in links) from src to every node; kUnreachable where no live path
 // exists. If `failures` is non-null, dead nodes/links are not traversed and a

@@ -1,0 +1,53 @@
+#include "graph/csr.h"
+
+namespace dcn::graph {
+
+CsrView::CsrView(const Graph& graph) {
+  const std::size_t nodes = graph.NodeCount();
+  const std::size_t edges = graph.EdgeCount();
+
+  kinds_.resize(nodes);
+  server_index_.assign(nodes, -1);
+  servers_.reserve(graph.ServerCount());
+  for (NodeId node = 0; static_cast<std::size_t>(node) < nodes; ++node) {
+    kinds_[node] = graph.KindOf(node);
+  }
+  for (const NodeId server : graph.Servers()) {
+    server_index_[server] = static_cast<std::int32_t>(servers_.size());
+    servers_.push_back(server);
+  }
+
+  endpoints_.reserve(edges);
+  for (EdgeId edge = 0; static_cast<std::size_t>(edge) < edges; ++edge) {
+    endpoints_.push_back(graph.Endpoints(edge));
+  }
+
+  // Pack the per-node adjacency vectors back to back, preserving each node's
+  // insertion order so CSR traversals replay Graph traversals exactly.
+  offsets_.resize(nodes + 1);
+  offsets_[0] = 0;
+  for (NodeId node = 0; static_cast<std::size_t>(node) < nodes; ++node) {
+    offsets_[node + 1] =
+        offsets_[node] + static_cast<std::int32_t>(graph.Degree(node));
+  }
+  targets_.resize(static_cast<std::size_t>(offsets_[nodes]));
+  adjacent_.resize(targets_.size());
+  for (NodeId node = 0; static_cast<std::size_t>(node) < nodes; ++node) {
+    std::int32_t at = offsets_[node];
+    for (const HalfEdge& half : graph.Neighbors(node)) {
+      adjacent_[at] = half.to;
+      targets_[at++] = half;
+    }
+  }
+}
+
+EdgeId CsrView::FindEdge(NodeId u, NodeId v) const {
+  const NodeId from = Degree(u) <= Degree(v) ? u : v;
+  const NodeId to = from == u ? v : u;
+  for (const HalfEdge& half : Neighbors(from)) {
+    if (half.to == to) return half.edge;
+  }
+  return kInvalidEdge;
+}
+
+}  // namespace dcn::graph

@@ -1,14 +1,57 @@
 #include "graph/graph.h"
 
 #include "common/error.h"
+#include "graph/csr.h"
 
 namespace dcn::graph {
+
+Graph::Graph() = default;
+Graph::~Graph() = default;
+
+Graph::Graph(const Graph& other)
+    : kinds_(other.kinds_),
+      adjacency_(other.adjacency_),
+      endpoints_(other.endpoints_),
+      servers_(other.servers_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    kinds_ = other.kinds_;
+    adjacency_ = other.adjacency_;
+    endpoints_ = other.endpoints_;
+    servers_ = other.servers_;
+    csr_.store(nullptr, std::memory_order_release);
+  }
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : kinds_(std::move(other.kinds_)),
+      adjacency_(std::move(other.adjacency_)),
+      endpoints_(std::move(other.endpoints_)),
+      servers_(std::move(other.servers_)) {
+  csr_.store(other.csr_.exchange(nullptr, std::memory_order_acq_rel),
+             std::memory_order_release);
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    kinds_ = std::move(other.kinds_);
+    adjacency_ = std::move(other.adjacency_);
+    endpoints_ = std::move(other.endpoints_);
+    servers_ = std::move(other.servers_);
+    csr_.store(other.csr_.exchange(nullptr, std::memory_order_acq_rel),
+               std::memory_order_release);
+  }
+  return *this;
+}
 
 NodeId Graph::AddNode(NodeKind kind) {
   const auto id = static_cast<NodeId>(kinds_.size());
   kinds_.push_back(kind);
   adjacency_.emplace_back();
   if (kind == NodeKind::kServer) servers_.push_back(id);
+  csr_.store(nullptr, std::memory_order_release);
   return id;
 }
 
@@ -20,7 +63,25 @@ EdgeId Graph::AddEdge(NodeId u, NodeId v) {
   endpoints_.emplace_back(u, v);
   adjacency_[u].push_back(HalfEdge{v, id});
   adjacency_[v].push_back(HalfEdge{u, id});
+  csr_.store(nullptr, std::memory_order_release);
   return id;
+}
+
+const CsrView& Graph::Csr() const {
+  std::shared_ptr<const CsrView> snap = csr_.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    auto built = std::make_shared<const CsrView>(*this);
+    std::shared_ptr<const CsrView> expected;
+    if (csr_.compare_exchange_strong(expected, built,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      snap = std::move(built);
+    } else {
+      snap = std::move(expected);  // another thread won the build race
+    }
+  }
+  // The cache keeps the view alive; only a mutation releases it.
+  return *snap;
 }
 
 NodeKind Graph::KindOf(NodeId node) const {

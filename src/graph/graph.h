@@ -10,13 +10,17 @@
 // probed under many failure scenarios.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace dcn::graph {
+
+class CsrView;
 
 using NodeId = std::int32_t;
 using EdgeId = std::int32_t;
@@ -35,6 +39,16 @@ struct HalfEdge {
 
 class Graph {
  public:
+  // Out of line because the cached CSR snapshot (an atomic shared_ptr to an
+  // incomplete type here) needs csr.h; copies/moves transfer the topology,
+  // and a copy starts with a cold cache.
+  Graph();
+  ~Graph();
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+
   NodeId AddNode(NodeKind kind);
   // Adds an undirected link. Self-loops are rejected; parallel links are
   // allowed (some topologies bundle links between the same pair).
@@ -52,15 +66,27 @@ class Graph {
   std::pair<NodeId, NodeId> Endpoints(EdgeId edge) const;
   // The endpoint of `edge` that is not `node`.
   NodeId OtherEnd(EdgeId edge, NodeId node) const;
-  // True if some link directly connects u and v. O(min degree).
+  // True if some link directly connects u and v. O(min degree): the scan
+  // runs over whichever endpoint has the smaller adjacency list.
   bool Adjacent(NodeId u, NodeId v) const;
-  // The id of one link connecting u and v, or kInvalidEdge.
+  // The id of one link connecting u and v, or kInvalidEdge. Scans the
+  // smaller endpoint's adjacency list (O(min degree)); because adjacency
+  // lists append in edge-id order, the result is the LOWEST-id link between
+  // the pair no matter which side is scanned — pinned by GraphTest.
   EdgeId FindEdge(NodeId u, NodeId v) const;
 
   std::size_t ServerCount() const { return servers_.size(); }
   std::size_t SwitchCount() const { return NodeCount() - ServerCount(); }
   // All server node ids, in insertion order.
   std::span<const NodeId> Servers() const { return servers_; }
+
+  // Flat CSR snapshot of the current adjacency (see graph/csr.h) — the
+  // representation every traversal hot path runs on. Built on first use and
+  // cached; AddNode/AddEdge invalidate the cache. Concurrent Csr() calls are
+  // safe (first-build races resolve to one winner); like every const method,
+  // it must not race with mutation. The reference stays valid until the next
+  // mutation of this graph.
+  const CsrView& Csr() const;
 
  private:
   void CheckNode(NodeId node) const;
@@ -69,6 +95,7 @@ class Graph {
   std::vector<std::vector<HalfEdge>> adjacency_;
   std::vector<std::pair<NodeId, NodeId>> endpoints_;
   std::vector<NodeId> servers_;
+  mutable std::atomic<std::shared_ptr<const CsrView>> csr_;
 };
 
 // Overlay marking dead nodes and links. A dead node implicitly kills all of

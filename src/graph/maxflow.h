@@ -22,23 +22,32 @@ class MaxFlowSolver {
 
   // Max flow from the set `sources` to the set `sinks` (disjoint, non-empty).
   // Source/sink attachment arcs are effectively infinite, so the answer is
-  // the min link cut. Resets internal flow state on every call.
+  // the min link cut. Single-use: a second call throws, because the arc
+  // capacities hold the residual network of the first solve.
   std::int64_t Solve(std::span<const NodeId> sources, std::span<const NodeId> sinks);
 
  private:
-  struct Arc {
-    std::int32_t to;
-    std::int32_t rev;  // index of the reverse arc in arcs_[to]
-    std::int64_t cap;
-  };
-
-  void AddArc(std::int32_t from, std::int32_t to, std::int64_t cap);
+  // Arcs live in a flat CSR layout (offset_ per node into parallel to_/rev_/
+  // cap_ arrays) built inside Solve once the super source/sink attachments
+  // are known — contiguous iteration instead of a vector-of-vectors pointer
+  // chase, and the level/iterator scratch is reused across Dinic phases
+  // without reallocating.
+  void AddArcPair(std::int32_t from, std::int32_t to, std::int64_t cap);
   bool BuildLevels(std::int32_t s, std::int32_t t);
   std::int64_t Augment(std::int32_t node, std::int32_t t, std::int64_t limit);
 
-  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> live_edges_;
+  std::int64_t edge_capacity_;
+  bool solved_ = false;
+
+  std::vector<std::int32_t> offset_;  // node -> first arc
+  std::vector<std::int32_t> cursor_;  // per-node fill cursor during build
+  std::vector<std::int32_t> to_;
+  std::vector<std::int32_t> rev_;  // global index of the twin arc
+  std::vector<std::int64_t> cap_;
   std::vector<int> level_;
-  std::vector<std::size_t> iter_;
+  std::vector<std::int32_t> iter_;
+  std::vector<std::int32_t> queue_;
   std::size_t base_node_count_;  // nodes of the original graph
 };
 

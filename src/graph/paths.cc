@@ -1,7 +1,5 @@
 #include "graph/paths.h"
 
-#include <algorithm>
-#include <deque>
 #include <limits>
 
 #include "common/error.h"
@@ -11,29 +9,62 @@ namespace dcn::graph {
 namespace {
 
 // Minimal unit-capacity Dinic keeping per-arc flow so paths can be
-// reconstructed afterwards. Arcs are indexed per node; reverse arc twins are
-// stored explicitly.
+// reconstructed afterwards. Arcs live in a flat CSR layout inside the
+// caller's FlowWorkspace: the arrays are assigned (overwriting old contents
+// in place) per solve, so repeated solves on one workspace do not allocate
+// once the buffers have grown to the largest instance seen.
+//
+// Arc order per node reproduces the historical vector-of-vectors append
+// order exactly — for each live edge (u, v) in edge-id order, u receives
+// [forward u->v, residual of v->u] and v receives [residual of u->v,
+// forward v->u] — so augmentation and path extraction visit arcs in the
+// same sequence and produce identical paths.
 class UnitFlow {
  public:
-  UnitFlow(const Graph& graph, const FailureSet* failures)
-      : arcs_(graph.NodeCount()) {
-    for (EdgeId edge = 0; static_cast<std::size_t>(edge) < graph.EdgeCount();
+  UnitFlow(const CsrView& csr, const FailureSet* failures, FlowWorkspace& ws)
+      : ws_(ws), nodes_(csr.NodeCount()) {
+    ws_.offset.assign(nodes_ + 1, 0);
+    // Two passes: count live arc slots per node, prefix-sum, then fill with
+    // per-node cursors. Each live edge contributes two arcs to each endpoint
+    // (forward + twin residual).
+    for (EdgeId edge = 0; static_cast<std::size_t>(edge) < csr.EdgeCount();
          ++edge) {
       if (failures != nullptr && failures->EdgeDead(edge)) continue;
-      const auto [u, v] = graph.Endpoints(edge);
+      const auto [u, v] = csr.Endpoints(edge);
       if (failures != nullptr &&
           (failures->NodeDead(u) || failures->NodeDead(v))) {
         continue;
       }
-      AddArc(u, v);
-      AddArc(v, u);
+      ws_.offset[static_cast<std::size_t>(u) + 1] += 2;
+      ws_.offset[static_cast<std::size_t>(v) + 1] += 2;
+    }
+    for (std::size_t node = 0; node < nodes_; ++node) {
+      ws_.offset[node + 1] += ws_.offset[node];
+    }
+    const auto arcs = static_cast<std::size_t>(ws_.offset[nodes_]);
+    ws_.cursor.assign(ws_.offset.begin(), ws_.offset.end() - 1);
+    ws_.to.resize(arcs);
+    ws_.rev.resize(arcs);
+    ws_.cap.assign(arcs, 0);
+    ws_.flow.assign(arcs, 0);
+    for (EdgeId edge = 0; static_cast<std::size_t>(edge) < csr.EdgeCount();
+         ++edge) {
+      if (failures != nullptr && failures->EdgeDead(edge)) continue;
+      const auto [u, v] = csr.Endpoints(edge);
+      if (failures != nullptr &&
+          (failures->NodeDead(u) || failures->NodeDead(v))) {
+        continue;
+      }
+      AddArcPair(u, v);
+      AddArcPair(v, u);
     }
   }
 
   std::size_t Run(NodeId src, NodeId dst, std::size_t max_paths) {
     std::size_t flow = 0;
     while (flow < max_paths && BuildLevels(src, dst)) {
-      iter_.assign(arcs_.size(), 0);
+      // Reset every node's arc iterator to its first arc.
+      ws_.iter.assign(ws_.offset.begin(), ws_.offset.end() - 1);
       while (flow < max_paths && Augment(src, dst)) ++flow;
     }
     return flow;
@@ -50,10 +81,11 @@ class UnitFlow {
       NodeId node = src;
       while (node != dst) {
         bool advanced = false;
-        for (Arc& arc : arcs_[node]) {
-          if (arc.flow > 0) {
-            arc.flow = 0;
-            node = arc.to;
+        for (std::int32_t a = ws_.offset[static_cast<std::size_t>(node)];
+             a < ws_.offset[static_cast<std::size_t>(node) + 1]; ++a) {
+          if (ws_.flow[static_cast<std::size_t>(a)] > 0) {
+            ws_.flow[static_cast<std::size_t>(a)] = 0;
+            node = ws_.to[static_cast<std::size_t>(a)];
             path.push_back(node);
             advanced = true;
             break;
@@ -63,7 +95,7 @@ class UnitFlow {
         DCN_ASSERT(advanced);
         // A unit-flow path visits each node at most deg(node) times; guard
         // against pathological cycles in the decomposition.
-        DCN_ASSERT(path.size() <= 4 * arcs_.size() + 2);
+        DCN_ASSERT(path.size() <= 4 * nodes_ + 2);
       }
       paths.push_back(std::move(path));
     }
@@ -71,53 +103,58 @@ class UnitFlow {
   }
 
  private:
-  struct Arc {
-    NodeId to;
-    std::int32_t rev;
-    std::int8_t cap;   // residual capacity, 0 or 1
-    std::int8_t flow;  // net flow pushed on this arc (for extraction)
-  };
-
-  void AddArc(NodeId from, NodeId to) {
-    arcs_[from].push_back(
-        Arc{to, static_cast<std::int32_t>(arcs_[to].size()), 1, 0});
-    arcs_[to].push_back(
-        Arc{from, static_cast<std::int32_t>(arcs_[from].size()) - 1, 0, 0});
+  void AddArcPair(NodeId from, NodeId to) {
+    const std::int32_t fwd = ws_.cursor[static_cast<std::size_t>(from)]++;
+    const std::int32_t res = ws_.cursor[static_cast<std::size_t>(to)]++;
+    ws_.to[static_cast<std::size_t>(fwd)] = to;
+    ws_.rev[static_cast<std::size_t>(fwd)] = res;
+    ws_.cap[static_cast<std::size_t>(fwd)] = 1;
+    ws_.to[static_cast<std::size_t>(res)] = from;
+    ws_.rev[static_cast<std::size_t>(res)] = fwd;
+    ws_.cap[static_cast<std::size_t>(res)] = 0;
   }
 
   bool BuildLevels(NodeId src, NodeId dst) {
-    level_.assign(arcs_.size(), -1);
-    std::deque<NodeId> queue;
-    level_[src] = 0;
-    queue.push_back(src);
-    while (!queue.empty()) {
-      const NodeId node = queue.front();
-      queue.pop_front();
-      for (const Arc& arc : arcs_[node]) {
-        if (arc.cap > 0 && level_[arc.to] < 0) {
-          level_[arc.to] = level_[node] + 1;
-          queue.push_back(arc.to);
+    ws_.level.assign(nodes_, -1);
+    ws_.queue.clear();
+    ws_.level[static_cast<std::size_t>(src)] = 0;
+    ws_.queue.push_back(src);
+    for (std::size_t head = 0; head < ws_.queue.size(); ++head) {
+      const NodeId node = ws_.queue[head];
+      for (std::int32_t a = ws_.offset[static_cast<std::size_t>(node)];
+           a < ws_.offset[static_cast<std::size_t>(node) + 1]; ++a) {
+        const NodeId next = ws_.to[static_cast<std::size_t>(a)];
+        if (ws_.cap[static_cast<std::size_t>(a)] > 0 &&
+            ws_.level[static_cast<std::size_t>(next)] < 0) {
+          ws_.level[static_cast<std::size_t>(next)] =
+              ws_.level[static_cast<std::size_t>(node)] + 1;
+          ws_.queue.push_back(next);
         }
       }
     }
-    return level_[dst] >= 0;
+    return ws_.level[static_cast<std::size_t>(dst)] >= 0;
   }
 
   bool Augment(NodeId node, NodeId dst) {
     if (node == dst) return true;
-    for (std::size_t& i = iter_[node]; i < arcs_[node].size(); ++i) {
-      Arc& arc = arcs_[node][i];
-      if (arc.cap <= 0 || level_[arc.to] != level_[node] + 1) continue;
-      if (Augment(arc.to, dst)) {
-        arc.cap -= 1;
-        arc.flow += 1;
-        Arc& twin = arcs_[arc.to][arc.rev];
-        twin.cap += 1;
+    for (std::int32_t& i = ws_.iter[static_cast<std::size_t>(node)];
+         i < ws_.offset[static_cast<std::size_t>(node) + 1]; ++i) {
+      const auto a = static_cast<std::size_t>(i);
+      const NodeId next = ws_.to[a];
+      if (ws_.cap[a] <= 0 || ws_.level[static_cast<std::size_t>(next)] !=
+                                 ws_.level[static_cast<std::size_t>(node)] + 1) {
+        continue;
+      }
+      if (Augment(next, dst)) {
+        ws_.cap[a] -= 1;
+        ws_.flow[a] += 1;
+        const auto twin = static_cast<std::size_t>(ws_.rev[a]);
+        ws_.cap[twin] += 1;
         // Pushing along a residual (reverse) arc cancels prior flow instead
         // of creating antiparallel flow.
-        if (twin.flow > 0) {
-          twin.flow -= 1;
-          arc.flow -= 1;
+        if (ws_.flow[twin] > 0) {
+          ws_.flow[twin] -= 1;
+          ws_.flow[a] -= 1;
         }
         return true;
       }
@@ -125,44 +162,58 @@ class UnitFlow {
     return false;
   }
 
-  std::vector<std::vector<Arc>> arcs_;
-  std::vector<int> level_;
-  std::vector<std::size_t> iter_;
+  FlowWorkspace& ws_;
+  std::size_t nodes_;
 };
 
-void CheckEndpoints(const Graph& graph, NodeId src, NodeId dst) {
-  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < graph.NodeCount(),
+void CheckEndpoints(std::size_t node_count, NodeId src, NodeId dst) {
+  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < node_count,
               "src out of range");
-  DCN_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < graph.NodeCount(),
+  DCN_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < node_count,
               "dst out of range");
   DCN_REQUIRE(src != dst, "src and dst must differ");
 }
 
 }  // namespace
 
-std::vector<std::vector<NodeId>> EdgeDisjointPaths(const Graph& graph, NodeId src,
-                                                   NodeId dst,
+std::vector<std::vector<NodeId>> EdgeDisjointPaths(const CsrView& csr,
+                                                   NodeId src, NodeId dst,
+                                                   FlowWorkspace& ws,
                                                    std::size_t max_paths,
                                                    const FailureSet* failures) {
-  CheckEndpoints(graph, src, dst);
+  CheckEndpoints(csr.NodeCount(), src, dst);
   if (failures != nullptr &&
       (failures->NodeDead(src) || failures->NodeDead(dst))) {
     return {};
   }
-  UnitFlow flow{graph, failures};
+  UnitFlow flow{csr, failures, ws};
   const std::size_t count = flow.Run(src, dst, max_paths);
   return flow.ExtractPaths(src, dst, count);
 }
 
-std::size_t EdgeConnectivity(const Graph& graph, NodeId src, NodeId dst,
-                             const FailureSet* failures) {
-  CheckEndpoints(graph, src, dst);
+std::vector<std::vector<NodeId>> EdgeDisjointPaths(const Graph& graph,
+                                                   NodeId src, NodeId dst,
+                                                   std::size_t max_paths,
+                                                   const FailureSet* failures) {
+  FlowScope ws;
+  return EdgeDisjointPaths(graph.Csr(), src, dst, *ws, max_paths, failures);
+}
+
+std::size_t EdgeConnectivity(const CsrView& csr, NodeId src, NodeId dst,
+                             FlowWorkspace& ws, const FailureSet* failures) {
+  CheckEndpoints(csr.NodeCount(), src, dst);
   if (failures != nullptr &&
       (failures->NodeDead(src) || failures->NodeDead(dst))) {
     return 0;
   }
-  UnitFlow flow{graph, failures};
+  UnitFlow flow{csr, failures, ws};
   return flow.Run(src, dst, std::numeric_limits<std::size_t>::max());
+}
+
+std::size_t EdgeConnectivity(const Graph& graph, NodeId src, NodeId dst,
+                             const FailureSet* failures) {
+  FlowScope ws;
+  return EdgeConnectivity(graph.Csr(), src, dst, *ws, failures);
 }
 
 }  // namespace dcn::graph

@@ -4,11 +4,18 @@
 // module measures that claim: it computes a maximum set of pairwise
 // link-disjoint paths (max-flow with unit link capacities) and returns the
 // concrete paths so their lengths can be compared.
+//
+// The workspace overloads run the solver on caller-provided scratch
+// (graph/workspace.h): the flat arc arrays are overwritten, not reallocated,
+// so steady-state sampling loops (metrics::SampledPairCuts) stay
+// allocation-free. The Graph overloads borrow a per-thread workspace.
 #pragma once
 
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/workspace.h"
 
 namespace dcn::graph {
 
@@ -21,8 +28,17 @@ std::vector<std::vector<NodeId>> EdgeDisjointPaths(
     std::size_t max_paths = static_cast<std::size_t>(-1),
     const FailureSet* failures = nullptr);
 
+std::vector<std::vector<NodeId>> EdgeDisjointPaths(
+    const CsrView& csr, NodeId src, NodeId dst, FlowWorkspace& ws,
+    std::size_t max_paths = static_cast<std::size_t>(-1),
+    const FailureSet* failures = nullptr);
+
 // Cardinality only (cheaper than materializing paths).
 std::size_t EdgeConnectivity(const Graph& graph, NodeId src, NodeId dst,
+                             const FailureSet* failures = nullptr);
+
+std::size_t EdgeConnectivity(const CsrView& csr, NodeId src, NodeId dst,
+                             FlowWorkspace& ws,
                              const FailureSet* failures = nullptr);
 
 }  // namespace dcn::graph

@@ -1,0 +1,36 @@
+#include "graph/workspace.h"
+
+#include <memory>
+
+namespace dcn::graph {
+namespace {
+
+// Per-thread freelists. Borrowing is strictly LIFO (scopes nest), so a depth
+// index over a grow-only vector suffices; entries outlive the scope and keep
+// their buffers warm for the next borrow. Thread-local storage means no
+// sharing and no synchronization — each pool worker (common/parallel.h keeps
+// them alive across regions) owns its workspaces for the process lifetime.
+template <typename T>
+struct Freelist {
+  std::vector<std::unique_ptr<T>> items;
+  std::size_t depth = 0;
+
+  T* Borrow() {
+    if (depth == items.size()) items.push_back(std::make_unique<T>());
+    return items[depth++].get();
+  }
+  void Release() { --depth; }
+};
+
+thread_local Freelist<TraversalWorkspace> tl_traversal;
+thread_local Freelist<FlowWorkspace> tl_flow;
+
+}  // namespace
+
+TraversalScope::TraversalScope() : ws_(tl_traversal.Borrow()) {}
+TraversalScope::~TraversalScope() { tl_traversal.Release(); }
+
+FlowScope::FlowScope() : ws_(tl_flow.Borrow()) {}
+FlowScope::~FlowScope() { tl_flow.Release(); }
+
+}  // namespace dcn::graph

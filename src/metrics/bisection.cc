@@ -20,8 +20,8 @@ std::int64_t MeasureBisection(const topo::Topology& net,
 PairCutStats SampledPairCuts(const topo::Topology& net, std::size_t pairs,
                              Rng& rng) {
   DCN_REQUIRE(pairs > 0, "need at least one sampled pair");
-  const graph::Graph& g = net.Network();
-  const auto servers = g.Servers();
+  const graph::CsrView& csr = net.Network().Csr();
+  const auto servers = csr.Servers();
   DCN_REQUIRE(servers.size() >= 2, "need at least two servers to sample cuts");
 
   const Rng base = rng.Fork();
@@ -35,6 +35,9 @@ PairCutStats SampledPairCuts(const topo::Topology& net, std::size_t pairs,
       pairs, /*chunk=*/4, Partial{},
       [&](std::size_t begin, std::size_t end) {
         Partial partial;
+        // One flow workspace per chunk: repeated Dinic solves overwrite the
+        // same arc arrays instead of reallocating them.
+        graph::FlowScope ws;
         for (std::size_t i = begin; i < end; ++i) {
           Rng pair_rng = base.Fork(i);
           const graph::NodeId src =
@@ -42,7 +45,7 @@ PairCutStats SampledPairCuts(const topo::Topology& net, std::size_t pairs,
           graph::NodeId dst = src;
           while (dst == src) dst = servers[pair_rng.NextUint64(servers.size())];
           const auto cut = static_cast<std::int64_t>(
-              graph::EdgeConnectivity(g, src, dst));
+              graph::EdgeConnectivity(csr, src, dst, *ws));
           partial.cuts.Add(cut);
           partial.min_cut = std::min(partial.min_cut, cut);
           partial.sum += cut;

@@ -34,13 +34,15 @@ std::vector<LinkClassUsage> ClassifyImpl(const Net& net,
     ++usage[edge_class[edge]].links;
   }
 
-  // Directed traversal counts.
+  // Directed traversal counts; one scratch link buffer serves every route.
+  const graph::CsrView& csr = g.Csr();
+  graph::EpochMarks used;
+  std::vector<std::uint64_t> links;
   std::vector<std::uint64_t> load(g.EdgeCount() * 2, 0);
   for (const routing::Route& route : routes) {
     if (route.Empty() || route.LinkCount() == 0) continue;
-    for (std::uint64_t link : routing::RouteDirectedLinks(g, route)) {
-      ++load[link];
-    }
+    routing::RouteDirectedLinksInto(csr, route, used, links);
+    for (std::uint64_t link : links) ++load[link];
   }
   std::vector<std::uint64_t> total(static_cast<std::size_t>(classes), 0);
   std::vector<std::uint64_t> peak(static_cast<std::size_t>(classes), 0);

@@ -25,15 +25,22 @@ struct SamplePartial {
 }  // namespace
 
 ExactPathStats ExactServerPathStats(const topo::Topology& net) {
-  const graph::Graph& g = net.Network();
-  const auto servers = g.Servers();
+  // Built (or fetched from cache) before the parallel region so every worker
+  // shares one snapshot.
+  const graph::CsrView& csr = net.Network().Csr();
+  const auto servers = csr.Servers();
 
-  // One BFS per source; per-chunk partials merge in ascending chunk order,
-  // and the sums involved are exact small integers, so the result is
-  // bit-identical for any thread count.
+  // One BFS per source, running on a per-chunk workspace so the sweep does no
+  // per-call allocation. Accumulation probes exactly the server ids (one
+  // packed epoch+distance word each), counting the source itself at distance
+  // 0 and correcting the pair count afterwards — cheaper than filtering the
+  // full visit order by node kind. All sums are exact integers (distances
+  // are small ints), so the chunk-merge order cannot perturb the result: it
+  // is bit-identical to the skip-the-source formulation for any thread
+  // count.
   struct Partial {
     int diameter = 0;
-    double total = 0.0;
+    std::int64_t total = 0;
     std::uint64_t pairs = 0;
     bool connected = true;
   };
@@ -41,18 +48,19 @@ ExactPathStats ExactServerPathStats(const topo::Topology& net) {
       servers.size(), kBfsChunk, Partial{},
       [&](std::size_t begin, std::size_t end) {
         Partial partial;
+        graph::TraversalScope ws;
         for (std::size_t s = begin; s < end; ++s) {
-          const std::vector<int> dist = graph::BfsDistances(g, servers[s]);
+          graph::BfsDistances(csr, servers[s], *ws);
+          std::size_t reached_servers = 0;
           for (const graph::NodeId dst : servers) {
-            if (dst == servers[s]) continue;
-            if (dist[dst] == graph::kUnreachable) {
-              partial.connected = false;
-              continue;
-            }
-            partial.diameter = std::max(partial.diameter, dist[dst]);
-            partial.total += dist[dst];
-            ++partial.pairs;
+            const int dist = ws->Dist(dst);
+            if (dist == graph::kUnreachable) continue;
+            ++reached_servers;  // the source reaches itself at distance 0
+            partial.diameter = std::max(partial.diameter, dist);
+            partial.total += dist;
           }
+          partial.pairs += reached_servers - 1;
+          if (reached_servers != servers.size()) partial.connected = false;
         }
         return partial;
       },
@@ -68,8 +76,9 @@ ExactPathStats ExactServerPathStats(const topo::Topology& net) {
   stats.diameter = merged.diameter;
   stats.pairs = merged.pairs;
   stats.connected = merged.connected;
-  stats.average =
-      merged.pairs > 0 ? merged.total / static_cast<double>(merged.pairs) : 0.0;
+  stats.average = merged.pairs > 0 ? static_cast<double>(merged.total) /
+                                         static_cast<double>(merged.pairs)
+                                   : 0.0;
   return stats;
 }
 
@@ -78,8 +87,8 @@ SampledPathStats SamplePathStats(const topo::Topology& net,
                                  std::size_t pairs_per_source, Rng& rng) {
   DCN_REQUIRE(source_samples > 0 && pairs_per_source > 0,
               "sample counts must be positive");
-  const graph::Graph& g = net.Network();
-  const auto servers = g.Servers();
+  const graph::CsrView& csr = net.Network().Csr();
+  const auto servers = csr.Servers();
   DCN_REQUIRE(servers.size() >= 2, "need at least two servers to sample paths");
 
   // Each source sample s draws from its own stream base.Fork(s), so samples
@@ -91,27 +100,31 @@ SampledPathStats SamplePathStats(const topo::Topology& net,
       source_samples, /*chunk=*/1, SamplePartial{},
       [&](std::size_t begin, std::size_t end) {
         SamplePartial partial;
+        // Holding `ws` across the net.Route() calls is safe: any BFS they run
+        // internally borrows its own workspace from the freelist.
+        graph::TraversalScope ws;
         for (std::size_t s = begin; s < end; ++s) {
           Rng sample_rng = base.Fork(s);
           const graph::NodeId src =
               servers[sample_rng.NextUint64(servers.size())];
-          const std::vector<int> dist = graph::BfsDistances(g, src);
+          graph::BfsDistances(csr, src, *ws);
           for (const graph::NodeId server : servers) {
-            if (server != src && dist[server] != graph::kUnreachable) {
-              partial.diameter_lower_bound =
-                  std::max(partial.diameter_lower_bound, dist[server]);
-            }
+            // src itself sits at distance 0 and unreachable servers read as
+            // -1; neither can raise the max.
+            partial.diameter_lower_bound =
+                std::max(partial.diameter_lower_bound, ws->Dist(server));
           }
           for (std::size_t p = 0; p < pairs_per_source; ++p) {
             graph::NodeId dst = src;
             while (dst == src) dst = servers[sample_rng.NextUint64(servers.size())];
-            DCN_ASSERT(dist[dst] != graph::kUnreachable);
+            const int dist = ws->Dist(dst);
+            DCN_ASSERT(dist != graph::kUnreachable);
             const auto routed =
                 static_cast<std::int64_t>(net.Route(src, dst).size()) - 1;
-            partial.shortest.Add(dist[dst]);
+            partial.shortest.Add(dist);
             partial.routed.Add(routed);
             partial.stretch_sum +=
-                static_cast<double>(routed) / static_cast<double>(dist[dst]);
+                static_cast<double>(routed) / static_cast<double>(dist);
             ++partial.stretch_count;
           }
         }

@@ -12,9 +12,9 @@ double PairDisconnectionFraction(const topo::Topology& net,
                                  const graph::FailureSet& failures,
                                  std::size_t sample_pairs, Rng& rng) {
   DCN_REQUIRE(sample_pairs > 0, "need at least one sampled pair");
-  const graph::Graph& g = net.Network();
+  const graph::CsrView& csr = net.Network().Csr();
   std::vector<graph::NodeId> alive;
-  for (const graph::NodeId server : g.Servers()) {
+  for (const graph::NodeId server : csr.Servers()) {
     if (!failures.NodeDead(server)) alive.push_back(server);
   }
   if (alive.size() < 2) return 0.0;
@@ -35,15 +35,16 @@ double PairDisconnectionFraction(const topo::Topology& net,
       sources, /*chunk=*/1, Partial{},
       [&](std::size_t begin, std::size_t end) {
         Partial partial;
+        graph::TraversalScope ws;
         for (std::size_t s = begin; s < end; ++s) {
           Rng trial_rng = base.Fork(s);
           const graph::NodeId src = alive[trial_rng.NextUint64(alive.size())];
-          const std::vector<int> dist = graph::BfsDistances(g, src, &failures);
+          graph::BfsDistances(csr, src, *ws, &failures);
           for (std::size_t p = 0; p < pairs_per_source; ++p) {
             graph::NodeId dst = src;
             while (dst == src) dst = alive[trial_rng.NextUint64(alive.size())];
             ++partial.measured;
-            if (dist[dst] == graph::kUnreachable) ++partial.disconnected;
+            if (!ws->Visited(dst)) ++partial.disconnected;
           }
         }
         return partial;
@@ -98,7 +99,9 @@ double WorstSingleSwitchDisconnection(const topo::Topology& net,
 
   // One kill-trial per switch, each with its own base.Fork(index) stream;
   // the max over trials is order-insensitive, so any thread count gives the
-  // same worst case.
+  // same worst case. Prewarm the CSR snapshot: every nested
+  // PairDisconnectionFraction call reads it.
+  g.Csr();
   const Rng base = rng.Fork();
   return ParallelMapReduce(
       switches.size(), /*chunk=*/1, 0.0,

@@ -9,7 +9,8 @@ Route BfsRoute(const topo::Topology& net, graph::NodeId src, graph::NodeId dst,
                const graph::FailureSet* failures) {
   DCN_REQUIRE(net.Network().IsServer(src), "BfsRoute src must be a server");
   DCN_REQUIRE(net.Network().IsServer(dst), "BfsRoute dst must be a server");
-  return Route{graph::ShortestPath(net.Network(), src, dst, failures)};
+  graph::TraversalScope ws;
+  return Route{graph::ShortestPath(net.Network().Csr(), src, dst, *ws, failures)};
 }
 
 }  // namespace dcn::routing

@@ -59,12 +59,15 @@ LoadBalanceResult AssignRoutes(const graph::Graph& graph,
   DCN_REQUIRE(options.refinement_passes >= 0,
               "refinement_passes must be non-negative");
   // Pre-resolve every candidate's directed links once.
+  const graph::CsrView& csr = graph.Csr();
+  graph::EpochMarks used;
   std::vector<std::vector<std::vector<std::uint64_t>>> links(candidates.size());
   for (std::size_t f = 0; f < candidates.size(); ++f) {
     DCN_REQUIRE(!candidates[f].empty(), "every flow needs at least one candidate");
     links[f].reserve(candidates[f].size());
     for (const Route& route : candidates[f]) {
-      links[f].push_back(RouteDirectedLinks(graph, route));
+      links[f].emplace_back();
+      RouteDirectedLinksInto(csr, route, used, links[f].back());
     }
   }
 
@@ -119,10 +122,14 @@ LoadBalanceResult AssignRoutes(const graph::Graph& graph,
 
 std::pair<std::size_t, double> LinkLoadProfile(const graph::Graph& graph,
                                                const std::vector<Route>& routes) {
+  const graph::CsrView& csr = graph.Csr();
+  graph::EpochMarks used;
+  std::vector<std::uint64_t> links;
   LoadTracker tracker{graph.EdgeCount()};
   for (const Route& route : routes) {
     if (route.Empty() || route.LinkCount() == 0) continue;
-    tracker.Apply(RouteDirectedLinks(graph, route), +1);
+    RouteDirectedLinksInto(csr, route, used, links);
+    tracker.Apply(links, +1);
   }
   return {tracker.MaxLoad(), tracker.MeanBusyLoad()};
 }

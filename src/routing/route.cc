@@ -8,6 +8,14 @@
 
 namespace dcn::routing {
 
+namespace {
+
+[[noreturn]] void InvalidRoute(const std::string& why) {
+  throw FailedPrecondition{"RouteDirectedLinks on invalid route: " + why};
+}
+
+}  // namespace
+
 std::string ValidateRoute(const graph::Graph& graph, const Route& route,
                           const graph::FailureSet* failures) {
   if (route.hops.empty()) return "route is empty";
@@ -102,6 +110,44 @@ std::vector<std::uint64_t> RouteDirectedLinks(const graph::Graph& graph,
                        (forward ? 0 : 1));
   }
   return directed;
+}
+
+void RouteDirectedLinksInto(const graph::CsrView& csr, const Route& route,
+                            graph::EpochMarks& used,
+                            std::vector<std::uint64_t>& links) {
+  links.clear();
+  if (route.hops.empty()) InvalidRoute("route is empty");
+  for (const graph::NodeId node : route.hops) {
+    if (node < 0 || static_cast<std::size_t>(node) >= csr.NodeCount()) {
+      InvalidRoute("hop out of range: " + std::to_string(node));
+    }
+  }
+  if (!csr.IsServer(route.Src())) InvalidRoute("route does not start at a server");
+  if (!csr.IsServer(route.Dst())) InvalidRoute("route does not end at a server");
+
+  links.reserve(route.LinkCount());
+  used.Begin(csr.EdgeCount());
+  for (std::size_t i = 0; i + 1 < route.hops.size(); ++i) {
+    const graph::NodeId u = route.hops[i];
+    const graph::NodeId v = route.hops[i + 1];
+    if (u == v) InvalidRoute("route repeats node " + std::to_string(u));
+    // Same link choice as RouteLinks: first unused parallel link in adjacency
+    // order (CSR preserves the Graph's insertion order).
+    bool found = false;
+    for (const graph::HalfEdge& half : csr.Neighbors(u)) {
+      if (half.to != v || !used.Mark(half.edge)) continue;
+      const auto [a, b] = csr.Endpoints(half.edge);
+      links.push_back(static_cast<std::uint64_t>(half.edge) * 2 +
+                      (u == a ? 0 : 1));
+      found = true;
+      break;
+    }
+    if (!found) {
+      InvalidRoute("no usable link between hop " + std::to_string(i) + " (" +
+                   std::to_string(u) + ") and hop " + std::to_string(i + 1) +
+                   " (" + std::to_string(v) + ")");
+    }
+  }
 }
 
 }  // namespace dcn::routing

@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/workspace.h"
 
 namespace dcn::routing {
 
@@ -45,5 +47,15 @@ Route EraseLoops(Route route);
 // key their accounting on these ids.
 std::vector<std::uint64_t> RouteDirectedLinks(const graph::Graph& graph,
                                               const Route& route);
+
+// Allocation-free RouteDirectedLinks for bulk setup loops (simulators, load
+// balancers): validates the route and resolves its directed link ids in a
+// single pass over the CSR adjacency, writing into `links` (cleared first).
+// `used` is caller-owned epoch scratch for the link-simplicity check, reused
+// across calls. Link choice matches RouteDirectedLinks exactly; throws
+// FailedPrecondition if the route is not walkable.
+void RouteDirectedLinksInto(const graph::CsrView& csr, const Route& route,
+                            graph::EpochMarks& used,
+                            std::vector<std::uint64_t>& links);
 
 }  // namespace dcn::routing

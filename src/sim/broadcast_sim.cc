@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "graph/csr.h"
 #include "routing/route.h"
 
 namespace dcn::sim {
@@ -54,12 +55,12 @@ struct LinkQueue {
   std::uint64_t transmitted = 0;
 };
 
-std::uint64_t DirectedLink(const graph::Graph& g, graph::NodeId from,
+std::uint64_t DirectedLink(const graph::CsrView& csr, graph::NodeId from,
                            graph::NodeId to) {
-  const graph::EdgeId edge = g.FindEdge(from, to);
+  const graph::EdgeId edge = csr.FindEdge(from, to);
   DCN_REQUIRE(edge != graph::kInvalidEdge,
               "broadcast tree edge missing from the graph");
-  const auto [u, v] = g.Endpoints(edge);
+  const auto [u, v] = csr.Endpoints(edge);
   return static_cast<std::uint64_t>(edge) * 2 + (from == u ? 0 : 1);
 }
 
@@ -82,14 +83,15 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
   };
   std::unordered_map<graph::NodeId, std::vector<ChildSegment>> children;
   std::uint32_t receivers = 0;
+  const graph::CsrView& csr = graph.Csr();
   for (graph::NodeId server = 0;
        static_cast<std::size_t>(server) < tree.parent.size(); ++server) {
     if (tree.parent[server] == graph::kInvalidNode) continue;
     DCN_REQUIRE(tree.via[server] != graph::kInvalidNode,
                 "broadcast sim requires switch-relayed tree edges");
     children[tree.parent[server]].push_back(
-        ChildSegment{server, DirectedLink(graph, tree.parent[server], tree.via[server]),
-                     DirectedLink(graph, tree.via[server], server)});
+        ChildSegment{server, DirectedLink(csr, tree.parent[server], tree.via[server]),
+                     DirectedLink(csr, tree.via[server], server)});
     ++receivers;
   }
   DCN_ASSERT(receivers + 1 == tree.CoveredCount());

@@ -25,6 +25,8 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
   // Flows with a route and at least one link participate in filling. Flows
   // whose route is just {src} (src == dst) are unconstrained; give them one
   // link-capacity worth of loopback bandwidth.
+  const graph::CsrView& csr = graph.Csr();
+  graph::EpochMarks used_links;
   std::vector<std::vector<std::uint64_t>> flow_links(routes.size());
   std::vector<double> capacity(graph.EdgeCount() * 2, link_capacity);
   std::vector<int> active(graph.EdgeCount() * 2, 0);
@@ -36,7 +38,7 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
       result.rates[f] = std::min(link_capacity, demands[f]);
       continue;
     }
-    flow_links[f] = routing::RouteDirectedLinks(graph, routes[f]);
+    routing::RouteDirectedLinksInto(csr, routes[f], used_links, flow_links[f]);
     for (std::uint64_t link : flow_links[f]) ++active[link];
     fixed[f] = false;
     ++unfixed;

@@ -55,7 +55,11 @@ PacketSimResult RunPacketSimMultipath(
   DCN_REQUIRE(!candidates.empty(), "packet sim needs at least one source");
 
   // Flatten every candidate route to its directed-link sequence; sources
-  // index their candidates through (offset, count).
+  // index their candidates through (offset, count). The CSR view plus shared
+  // epoch scratch keeps this setup loop allocation-light even with thousands
+  // of candidate routes.
+  const graph::CsrView& csr = graph.Csr();
+  graph::EpochMarks used_links;
   std::vector<std::vector<std::uint64_t>> route_links;
   std::vector<std::size_t> offset(candidates.size() + 1, 0);
   for (std::size_t source = 0; source < candidates.size(); ++source) {
@@ -66,7 +70,8 @@ PacketSimResult RunPacketSimMultipath(
                   "packet sim routes must traverse at least one link");
       DCN_REQUIRE(route.Src() == candidates[source].front().Src(),
                   "a source's candidate routes must share their origin");
-      route_links.push_back(routing::RouteDirectedLinks(graph, route));
+      route_links.emplace_back();
+      routing::RouteDirectedLinksInto(csr, route, used_links, route_links.back());
     }
     offset[source + 1] = route_links.size();
   }

@@ -75,6 +75,10 @@ std::vector<Flow> BisectionTraffic(const topo::Topology& net, Rng& rng) {
 std::vector<routing::Route> NativeRoutes(const topo::Topology& net,
                                          const std::vector<Flow>& flows) {
   std::vector<routing::Route> routes(flows.size());
+  // Build the CSR snapshot up front: BFS-backed Route() implementations hit
+  // it on every call, and prewarming keeps the workers from racing to build
+  // the same view inside the parallel region.
+  net.Network().Csr();
   // Each slot is written by exactly one chunk; Route() is a const query on
   // the immutable topology, so this is safely and deterministically parallel.
   ParallelFor(flows.size(), /*chunk=*/64, [&](std::size_t begin, std::size_t end) {

@@ -68,6 +68,32 @@ TEST(GraphTest, AdjacentAndFindEdge) {
   EXPECT_EQ(g.FindEdge(a, c), kInvalidEdge);
 }
 
+TEST(GraphTest, FindEdgeOnSkewedDegreesAgreesFromEitherSide) {
+  // A hub with a large adjacency list and leaves of small degree. FindEdge
+  // scans the smaller endpoint's list (O(min degree)); because adjacency
+  // lists append in edge-id order, the answer is the lowest-id parallel link
+  // no matter which side the scan runs on — so the argument order must not
+  // change the result.
+  Graph g;
+  const NodeId hub = g.AddNode(NodeKind::kSwitch);
+  std::vector<NodeId> leaves;
+  std::vector<EdgeId> first_link;
+  for (int i = 0; i < 64; ++i) {
+    const NodeId leaf = g.AddNode(NodeKind::kServer);
+    leaves.push_back(leaf);
+    first_link.push_back(g.AddEdge(hub, leaf));
+  }
+  // Parallel links added later get higher edge ids and must never win.
+  for (const NodeId leaf : leaves) g.AddEdge(leaf, hub);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(g.FindEdge(hub, leaves[i]), first_link[i]);
+    EXPECT_EQ(g.FindEdge(leaves[i], hub), first_link[i]);
+    EXPECT_TRUE(g.Adjacent(hub, leaves[i]));
+    EXPECT_TRUE(g.Adjacent(leaves[i], hub));
+  }
+  EXPECT_EQ(g.FindEdge(leaves[0], leaves[1]), kInvalidEdge);
+}
+
 TEST(GraphTest, SelfLoopRejected) {
   Graph g;
   const NodeId a = g.AddNode(NodeKind::kServer);
