@@ -334,8 +334,10 @@ int RunJson() {
     entries.push_back(e);
   }
 
-  // 5. Packet-sim run at fixed seed/load (setup + event loop; no legacy
-  //    baseline is preserved for the event loop itself).
+  // 5. Packet-sim run at fixed seed/load. Baseline: the same event loop
+  //    with per-link FIFOs stored as a vector of deques — the layout the
+  //    simulator used before the flat ring-buffer link store. Identical FIFO
+  //    semantics and event order, so the two runs must agree exactly.
   {
     Entry e{"packetsim_run_abccc_n4_k3_c2"};
     Rng rng{dcn::bench::kDefaultSeed};
@@ -345,9 +347,20 @@ int RunJson() {
     config.offered_load = 0.5;
     config.duration = 100.0;
     config.warmup = 20.0;
+    dcn::sim::PacketSimResult ring, legacy;
     e.ns_per_op = BestNs(3, [&] {
-      benchmark::DoNotOptimize(dcn::sim::RunPacketSim(g, routes, config));
+      ring = dcn::sim::RunPacketSim(g, routes, config);
+      benchmark::DoNotOptimize(ring);
     });
+    e.baseline_ns_per_op = BestNs(3, [&] {
+      legacy = dcn::sim::RunPacketSimLegacyBaseline(g, routes, config);
+      benchmark::DoNotOptimize(legacy);
+    });
+    if (ring.delivered != legacy.delivered || ring.dropped != legacy.dropped ||
+        ring.latency.Mean() != legacy.latency.Mean()) {
+      std::fprintf(stderr, "packetsim link-store baseline mismatch\n");
+      return 1;
+    }
     entries.push_back(e);
   }
 

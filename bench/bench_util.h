@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "graph/bfs.h"
+#include "graph/msbfs.h"
 #include "metrics/path_metrics.h"
 #include "routing/route.h"
 #include "sim/flowsim.h"
@@ -28,12 +28,8 @@ inline constexpr std::uint64_t kDefaultSeed = 0xabccc2015u;
 // ABCCC roles see symmetric views), so this equals — and is always a lower
 // bound on — the diameter, at BFS cost instead of all-pairs cost.
 inline int ServerEccentricity(const topo::Topology& net) {
-  const std::vector<int> dist = graph::BfsDistances(net.Network(), net.Servers()[0]);
-  int ecc = 0;
-  for (const graph::NodeId server : net.Servers()) {
-    ecc = std::max(ecc, dist[server]);
-  }
-  return ecc;
+  const graph::NodeId src = net.Servers()[0];
+  return graph::ServerEccentricities(net.Network().Csr(), {&src, 1})[0];
 }
 
 // Native routes for a flow set: see sim::NativeRoutes (parallel over the

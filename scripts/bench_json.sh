@@ -30,4 +30,12 @@ cmake --build --preset release -j "${JOBS:-$(nproc)}" > /dev/null
   echo '}'
 } > "$OUT"
 
+# Fail loudly if either binary emitted broken JSON (a half-written document
+# here would silently poison every future perf comparison).
+if ! python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$OUT"; then
+  echo "error: $OUT is not valid JSON — benchmark output is malformed" >&2
+  rm -f "$OUT"
+  exit 1
+fi
+
 echo "wrote $OUT"

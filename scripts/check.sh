@@ -65,7 +65,8 @@ echo "== ThreadSanitizer build + tests =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 # Oversubscribe the pool relative to the host so TSan sees real contention.
-DCN_THREADS="${DCN_THREADS_TSAN:-4}" ctest --preset tsan -j "$JOBS" "$@"
+DCN_THREADS="${DCN_THREADS_TSAN:-4}" ctest --preset tsan -j "$JOBS" \
+  ${CTEST_ARGS+"${CTEST_ARGS[@]}"}
 
 echo
 echo "check.sh: all suites passed under Release and TSan."

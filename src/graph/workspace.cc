@@ -24,6 +24,7 @@ struct Freelist {
 
 thread_local Freelist<TraversalWorkspace> tl_traversal;
 thread_local Freelist<FlowWorkspace> tl_flow;
+thread_local Freelist<MsBfsWorkspace> tl_msbfs;
 
 }  // namespace
 
@@ -32,5 +33,8 @@ TraversalScope::~TraversalScope() { tl_traversal.Release(); }
 
 FlowScope::FlowScope() : ws_(tl_flow.Borrow()) {}
 FlowScope::~FlowScope() { tl_flow.Release(); }
+
+MsBfsScope::MsBfsScope() : ws_(tl_msbfs.Borrow()) {}
+MsBfsScope::~MsBfsScope() { tl_msbfs.Release(); }
 
 }  // namespace dcn::graph

@@ -122,13 +122,69 @@ class TraversalWorkspace {
   // a sweep this doubles as the visit order; its size is the reached count.
   std::vector<NodeId>& Frontier() { return queue_; }
   std::span<const NodeId> VisitOrder() const { return queue_; }
-  std::size_t VisitedCount() const { return queue_.size(); }
 
  private:
   std::vector<std::uint64_t> state_;  // (epoch << 32) | distance, per node
   std::vector<NodeId> parent_;
   std::vector<NodeId> queue_;
   std::uint32_t epoch_ = 0;
+};
+
+// Word-packed frontier state for the 64-lane multi-source BFS
+// (graph/msbfs.h): one `uint64_t` per node in each of the seen / current /
+// next bitmaps, bit j belonging to source lane j. Unlike TraversalWorkspace,
+// slots are NOT epoch-stamped: the kernel's claim pass already touches every
+// node's word once per level, so a full O(V) zero on Begin() costs less than
+// carrying a stamp word through the per-level inner loops would. Buffers grow
+// to the largest graph seen and are then reused — steady state allocates
+// nothing.
+class MsBfsWorkspace {
+ public:
+  void Begin(std::size_t nodes) {
+    if (seen_.size() < nodes) {
+      seen_.resize(nodes, 0);
+      front_.resize(nodes, 0);
+      next_.resize(nodes, 0);
+    }
+    std::fill_n(seen_.begin(), nodes, 0);
+    std::fill_n(front_.begin(), nodes, 0);
+    std::fill_n(next_.begin(), nodes, 0);
+    active_.clear();
+    spare_.clear();
+    candidates_.clear();
+    unfinished_.clear();
+  }
+
+  // Bit j set iff source lane j of the last run reached `node`. Valid after
+  // MultiSourceBfs returns; this is the reachability readout the resilience
+  // metrics probe.
+  std::uint64_t SeenWord(NodeId node) const {
+    return seen_[static_cast<std::size_t>(node)];
+  }
+
+  // Raw arrays for the kernel in graph/msbfs.h; sized by the last Begin().
+  std::uint64_t* Seen() { return seen_.data(); }
+  std::uint64_t* Front() { return front_.data(); }
+  std::uint64_t* Next() { return next_.data(); }
+  // Node ids whose Front() word is non-zero, maintained level by level by the
+  // kernel (doubles as its top-down scatter list). Spare() is the next
+  // level's list under construction (the two are swapped each level);
+  // Candidates() collects nodes touched by a top-down scatter so the claim
+  // pass visits only them; Unfinished() is the shrinking
+  // still-missing-some-lane list the bottom-up gather iterates.
+  std::vector<NodeId>& Active() { return active_; }
+  std::vector<NodeId>& Spare() { return spare_; }
+  std::vector<NodeId>& Candidates() { return candidates_; }
+  std::vector<NodeId>& Unfinished() { return unfinished_; }
+
+ private:
+  std::vector<std::uint64_t> seen_;
+  std::vector<std::uint64_t> front_;
+  std::vector<std::uint64_t> next_;
+  std::vector<NodeId> active_;
+  std::vector<NodeId> spare_;
+  std::vector<NodeId> candidates_;
+  std::vector<NodeId> unfinished_;
 };
 
 // Scratch arrays for the unit-capacity Dinic in graph/paths.cc: a flat arc
@@ -175,6 +231,21 @@ class FlowScope {
 
  private:
   FlowWorkspace* ws_;
+};
+
+// RAII borrow of an MsBfsWorkspace (same freelist discipline).
+class MsBfsScope {
+ public:
+  MsBfsScope();
+  ~MsBfsScope();
+  MsBfsScope(const MsBfsScope&) = delete;
+  MsBfsScope& operator=(const MsBfsScope&) = delete;
+
+  MsBfsWorkspace& operator*() const { return *ws_; }
+  MsBfsWorkspace* operator->() const { return ws_; }
+
+ private:
+  MsBfsWorkspace* ws_;
 };
 
 }  // namespace dcn::graph

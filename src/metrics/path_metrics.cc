@@ -1,23 +1,26 @@
 #include "metrics/path_metrics.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.h"
 #include "common/parallel.h"
-#include "graph/bfs.h"
+#include "graph/msbfs.h"
 
 namespace dcn::metrics {
 namespace {
 
-// Sources per parallel chunk. One BFS is already a chunky unit of work;
-// small chunks keep the pool busy on networks with few servers per thread.
-constexpr std::size_t kBfsChunk = 4;
-
 // Per-chunk partial of the sampled statistics; merged in fixed chunk order.
+//
+// stretch_sum is deliberately NOT accumulated across samples here: floating-
+// point addition is order-sensitive, and the pre-batching implementation
+// folded one per-sample sum at a time (chunk == 1). Keeping the per-sample
+// sums and folding them serially at the end reproduces that sum bit-for-bit
+// while still batching 64 BFS sources per pass.
 struct SamplePartial {
   IntHistogram shortest;
   IntHistogram routed;
-  double stretch_sum = 0.0;
+  std::vector<double> sample_stretch;  // one pair-ordered sum per sample
   std::uint64_t stretch_count = 0;
   int diameter_lower_bound = 0;
 };
@@ -26,59 +29,21 @@ struct SamplePartial {
 
 ExactPathStats ExactServerPathStats(const topo::Topology& net) {
   // Built (or fetched from cache) before the parallel region so every worker
-  // shares one snapshot.
+  // shares one snapshot. The sweep itself batches 64 sources per bit-parallel
+  // pass and parallelizes over source blocks; see graph/msbfs.h for the
+  // determinism contract.
   const graph::CsrView& csr = net.Network().Csr();
-  const auto servers = csr.Servers();
-
-  // One BFS per source, running on a per-chunk workspace so the sweep does no
-  // per-call allocation. Accumulation probes exactly the server ids (one
-  // packed epoch+distance word each), counting the source itself at distance
-  // 0 and correcting the pair count afterwards — cheaper than filtering the
-  // full visit order by node kind. All sums are exact integers (distances
-  // are small ints), so the chunk-merge order cannot perturb the result: it
-  // is bit-identical to the skip-the-source formulation for any thread
-  // count.
-  struct Partial {
-    int diameter = 0;
-    std::int64_t total = 0;
-    std::uint64_t pairs = 0;
-    bool connected = true;
-  };
-  const Partial merged = ParallelMapReduce(
-      servers.size(), kBfsChunk, Partial{},
-      [&](std::size_t begin, std::size_t end) {
-        Partial partial;
-        graph::TraversalScope ws;
-        for (std::size_t s = begin; s < end; ++s) {
-          graph::BfsDistances(csr, servers[s], *ws);
-          std::size_t reached_servers = 0;
-          for (const graph::NodeId dst : servers) {
-            const int dist = ws->Dist(dst);
-            if (dist == graph::kUnreachable) continue;
-            ++reached_servers;  // the source reaches itself at distance 0
-            partial.diameter = std::max(partial.diameter, dist);
-            partial.total += dist;
-          }
-          partial.pairs += reached_servers - 1;
-          if (reached_servers != servers.size()) partial.connected = false;
-        }
-        return partial;
-      },
-      [](Partial acc, Partial partial) {
-        acc.diameter = std::max(acc.diameter, partial.diameter);
-        acc.total += partial.total;
-        acc.pairs += partial.pairs;
-        acc.connected = acc.connected && partial.connected;
-        return acc;
-      });
+  graph::AllPairsSweepStats sweep = graph::AllPairsDistanceSweep(csr);
 
   ExactPathStats stats;
-  stats.diameter = merged.diameter;
-  stats.pairs = merged.pairs;
-  stats.connected = merged.connected;
-  stats.average = merged.pairs > 0 ? static_cast<double>(merged.total) /
-                                         static_cast<double>(merged.pairs)
-                                   : 0.0;
+  stats.diameter = sweep.diameter;
+  stats.radius = sweep.radius;
+  stats.pairs = sweep.pairs;
+  stats.connected = sweep.connected;
+  stats.average = sweep.pairs > 0 ? static_cast<double>(sweep.distance_total) /
+                                        static_cast<double>(sweep.pairs)
+                                  : 0.0;
+  stats.pairs_at_distance = std::move(sweep.pairs_at_distance);
   return stats;
 }
 
@@ -90,42 +55,81 @@ SampledPathStats SamplePathStats(const topo::Topology& net,
   const graph::CsrView& csr = net.Network().Csr();
   const auto servers = csr.Servers();
   DCN_REQUIRE(servers.size() >= 2, "need at least two servers to sample paths");
+  const std::size_t nodes = csr.NodeCount();
 
   // Each source sample s draws from its own stream base.Fork(s), so samples
-  // are independent of which thread runs them; the caller's rng advances
-  // exactly once regardless of the sample count.
+  // are independent of which thread runs them AND of how they are blocked
+  // into 64-lane BFS batches; the caller's rng advances exactly once
+  // regardless of the sample count.
   const Rng base = rng.Fork();
 
-  const SamplePartial merged = ParallelMapReduce(
-      source_samples, /*chunk=*/1, SamplePartial{},
+  const std::size_t blocks =
+      (source_samples + graph::kMsBfsLanes - 1) / graph::kMsBfsLanes;
+  SamplePartial merged = ParallelMapReduce(
+      blocks, /*chunk=*/1, SamplePartial{},
       [&](std::size_t begin, std::size_t end) {
         SamplePartial partial;
-        // Holding `ws` across the net.Route() calls is safe: any BFS they run
-        // internally borrows its own workspace from the freelist.
-        graph::TraversalScope ws;
-        for (std::size_t s = begin; s < end; ++s) {
-          Rng sample_rng = base.Fork(s);
-          const graph::NodeId src =
-              servers[sample_rng.NextUint64(servers.size())];
-          graph::BfsDistances(csr, src, *ws);
-          for (const graph::NodeId server : servers) {
-            // src itself sits at distance 0 and unreachable servers read as
-            // -1; neither can raise the max.
-            partial.diameter_lower_bound =
-                std::max(partial.diameter_lower_bound, ws->Dist(server));
+        graph::MsBfsScope ws;
+        std::vector<int> dist;          // lane-major distance rows, reused
+        std::vector<Rng> sample_rngs;   // per-sample streams, continued below
+        std::vector<graph::NodeId> sources;
+        for (std::size_t b = begin; b < end; ++b) {
+          const std::size_t first = b * graph::kMsBfsLanes;
+          const std::size_t lanes =
+              std::min(graph::kMsBfsLanes, source_samples - first);
+
+          // Draw the block's sources, keeping each sample's rng alive so the
+          // pair draws below continue the exact per-sample stream the
+          // one-BFS-per-sample implementation used.
+          sample_rngs.clear();
+          sources.clear();
+          for (std::size_t s = 0; s < lanes; ++s) {
+            sample_rngs.push_back(base.Fork(first + s));
+            sources.push_back(
+                servers[sample_rngs.back().NextUint64(servers.size())]);
           }
-          for (std::size_t p = 0; p < pairs_per_source; ++p) {
-            graph::NodeId dst = src;
-            while (dst == src) dst = servers[sample_rng.NextUint64(servers.size())];
-            const int dist = ws->Dist(dst);
-            DCN_ASSERT(dist != graph::kUnreachable);
-            const auto routed =
-                static_cast<std::int64_t>(net.Route(src, dst).size()) - 1;
-            partial.shortest.Add(dist);
-            partial.routed.Add(routed);
-            partial.stretch_sum +=
-                static_cast<double>(routed) / static_cast<double>(dist);
-            ++partial.stretch_count;
+
+          // One bit-parallel pass settles all 64 sources' distances.
+          dist.assign(lanes * nodes, graph::kUnreachable);
+          graph::MultiSourceBfs(
+              csr, sources, *ws,
+              [&](int level, graph::NodeId node, std::uint64_t bits) {
+                while (bits != 0) {
+                  const auto lane =
+                      static_cast<std::size_t>(std::countr_zero(bits));
+                  bits &= bits - 1;
+                  dist[lane * nodes + static_cast<std::size_t>(node)] = level;
+                }
+              });
+
+          for (std::size_t s = 0; s < lanes; ++s) {
+            Rng& sample_rng = sample_rngs[s];
+            const graph::NodeId src = sources[s];
+            const int* row = dist.data() + s * nodes;
+            for (const graph::NodeId server : servers) {
+              // src itself sits at distance 0 and unreachable servers read as
+              // -1; neither can raise the max.
+              partial.diameter_lower_bound =
+                  std::max(partial.diameter_lower_bound,
+                           row[static_cast<std::size_t>(server)]);
+            }
+            double stretch_sum = 0.0;
+            for (std::size_t p = 0; p < pairs_per_source; ++p) {
+              graph::NodeId dst = src;
+              while (dst == src) {
+                dst = servers[sample_rng.NextUint64(servers.size())];
+              }
+              const int d = row[static_cast<std::size_t>(dst)];
+              DCN_ASSERT(d != graph::kUnreachable);
+              const auto routed =
+                  static_cast<std::int64_t>(net.Route(src, dst).size()) - 1;
+              partial.shortest.Add(d);
+              partial.routed.Add(routed);
+              stretch_sum +=
+                  static_cast<double>(routed) / static_cast<double>(d);
+              ++partial.stretch_count;
+            }
+            partial.sample_stretch.push_back(stretch_sum);
           }
         }
         return partial;
@@ -133,7 +137,9 @@ SampledPathStats SamplePathStats(const topo::Topology& net,
       [](SamplePartial acc, SamplePartial partial) {
         acc.shortest.Merge(partial.shortest);
         acc.routed.Merge(partial.routed);
-        acc.stretch_sum += partial.stretch_sum;
+        acc.sample_stretch.insert(acc.sample_stretch.end(),
+                                  partial.sample_stretch.begin(),
+                                  partial.sample_stretch.end());
         acc.stretch_count += partial.stretch_count;
         acc.diameter_lower_bound =
             std::max(acc.diameter_lower_bound, partial.diameter_lower_bound);
@@ -141,11 +147,16 @@ SampledPathStats SamplePathStats(const topo::Topology& net,
       });
 
   SampledPathStats stats;
-  stats.shortest = merged.shortest;
-  stats.routed = merged.routed;
+  stats.shortest = std::move(merged.shortest);
+  stats.routed = std::move(merged.routed);
   stats.diameter_lower_bound = merged.diameter_lower_bound;
-  stats.mean_stretch =
-      merged.stretch_sum / static_cast<double>(merged.stretch_count);
+  // Ordered chunk merges concatenated the per-sample sums in sample order;
+  // fold them in that order, exactly as the chunk==1 reduction used to.
+  double stretch_sum = 0.0;
+  for (const double sample_sum : merged.sample_stretch) {
+    stretch_sum += sample_sum;
+  }
+  stats.mean_stretch = stretch_sum / static_cast<double>(merged.stretch_count);
   return stats;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -14,16 +15,21 @@ namespace dcn::metrics {
 
 struct ExactPathStats {
   int diameter = 0;                 // max server-to-server distance
+  int radius = 0;                   // min over servers of server eccentricity
   double average = 0.0;             // mean over all ordered server pairs
   std::uint64_t pairs = 0;          // ordered pairs counted
   bool connected = true;            // false if any pair was unreachable
+  // pairs_at_distance[d] = ordered server pairs at exactly distance d
+  // (index 0 is always 0: a pair has distinct endpoints).
+  std::vector<std::uint64_t> pairs_at_distance;
 };
 
-// BFS from every server: exact diameter and average shortest server-to-server
-// path length. Cost O(S * (V + E)), parallelized across sources over the
-// DCN_THREADS pool (common/parallel.h) with bit-identical results for any
-// thread count — tens of thousands of servers are practical on a multicore
-// host.
+// Exact diameter, radius, average shortest server-to-server path length, and
+// the full distance histogram, via the bit-parallel multi-source BFS sweep
+// (graph/msbfs.h): 64 sources per pass, so the whole sweep costs
+// O(S/64 * (V + E)) word operations instead of S full traversals. Source
+// blocks run across the DCN_THREADS pool (common/parallel.h); every count is
+// an exact integer, so results are bit-identical for any thread count.
 ExactPathStats ExactServerPathStats(const topo::Topology& net);
 
 struct SampledPathStats {

@@ -30,6 +30,14 @@ struct Event {
   std::uint64_t seq = 0;
 };
 
+// (time, seq) descending for std::priority_queue's max-heap convention —
+// pops come out (time, seq) ascending. seq is unique, so this is a strict
+// total order: every correct priority queue pops the identical event
+// sequence, and the simulation output cannot depend on the queue's internal
+// layout. (A 4-ary implicit heap was measured here and lost to the binary
+// heap: at this simulator's in-flight event counts — a few thousand, the
+// whole heap L2-resident — the extra min-of-4-children comparisons cost more
+// than the halved sift depth saves.)
 struct EventAfter {
   bool operator()(const Event& a, const Event& b) const {
     if (a.time != b.time) return a.time > b.time;
@@ -37,14 +45,94 @@ struct EventAfter {
   }
 };
 
-struct LinkQueue {
-  std::deque<std::uint32_t> packets;  // packet pool indices; front in service
-  std::uint64_t transmitted = 0;      // packets fully serviced by this link
+// The std::priority_queue binary heap — the production event queue.
+class BinaryEventQueue {
+ public:
+  bool Empty() const { return queue_.empty(); }
+  const Event& Top() const { return queue_.top(); }
+  void Push(const Event& event) { queue_.push(event); }
+  void Pop() { queue_.pop(); }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
 };
 
-}  // namespace
+// Per-directed-link FIFO output queues, capacity-bounded. Two layouts with
+// identical FIFO semantics (so results are bit-identical either way):
+//
+// RingLinkStore — one contiguous slab of queue_capacity slots per link plus
+// flat head/size/transmitted arrays. No allocation after construction and no
+// pointer chasing in the depart hot path.
+class RingLinkStore {
+ public:
+  RingLinkStore(std::size_t links, int capacity)
+      : capacity_(static_cast<std::size_t>(capacity)),
+        slots_(links * capacity_),
+        head_(links, 0),
+        size_(links, 0),
+        transmitted_(links, 0) {}
 
-PacketSimResult RunPacketSimMultipath(
+  int Size(std::size_t link) const { return static_cast<int>(size_[link]); }
+  bool Empty(std::size_t link) const { return size_[link] == 0; }
+  std::uint64_t Transmitted(std::size_t link) const {
+    return transmitted_[link];
+  }
+  void Push(std::size_t link, std::uint32_t packet) {
+    std::size_t slot = head_[link] + size_[link];
+    if (slot >= capacity_) slot -= capacity_;
+    slots_[link * capacity_ + slot] = packet;
+    ++size_[link];
+  }
+  std::uint32_t PopFront(std::size_t link) {
+    const std::uint32_t packet = slots_[link * capacity_ + head_[link]];
+    if (++head_[link] == capacity_) head_[link] = 0;
+    --size_[link];
+    ++transmitted_[link];
+    return packet;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> size_;
+  std::vector<std::uint64_t> transmitted_;
+};
+
+// DequeLinkStore — the vector-of-deques layout the simulator used before the
+// ring store; retained as the in-process baseline for bench_micro.
+class DequeLinkStore {
+ public:
+  DequeLinkStore(std::size_t links, int /*capacity*/) : links_(links) {}
+
+  int Size(std::size_t link) const {
+    return static_cast<int>(links_[link].packets.size());
+  }
+  bool Empty(std::size_t link) const { return links_[link].packets.empty(); }
+  std::uint64_t Transmitted(std::size_t link) const {
+    return links_[link].transmitted;
+  }
+  void Push(std::size_t link, std::uint32_t packet) {
+    links_[link].packets.push_back(packet);
+  }
+  std::uint32_t PopFront(std::size_t link) {
+    LinkQueue& q = links_[link];
+    const std::uint32_t packet = q.packets.front();
+    q.packets.pop_front();
+    ++q.transmitted;
+    return packet;
+  }
+
+ private:
+  struct LinkQueue {
+    std::deque<std::uint32_t> packets;  // front is in service
+    std::uint64_t transmitted = 0;
+  };
+  std::vector<LinkQueue> links_;
+};
+
+template <typename EventQueue, typename LinkStore>
+PacketSimResult RunPacketSimMultipathImpl(
     const graph::Graph& graph,
     const std::vector<std::vector<routing::Route>>& candidates,
     const PacketSimConfig& config, SprayPolicy policy) {
@@ -77,29 +165,28 @@ PacketSimResult RunPacketSimMultipath(
   }
   std::vector<std::size_t> next_candidate(candidates.size(), 0);
 
-  std::vector<LinkQueue> links(graph.EdgeCount() * 2);
+  const std::size_t link_count = graph.EdgeCount() * 2;
+  LinkStore links(link_count, config.queue_capacity);
   std::vector<Packet> pool;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  EventQueue events;
   std::uint64_t seq = 0;
   Rng rng{config.seed};
   PacketSimResult result;
 
   auto schedule = [&](double time, EventKind kind, std::uint64_t payload) {
-    events.push(Event{time, kind, payload, seq++});
+    events.Push(Event{time, kind, payload, seq++});
   };
 
   // On enqueue, a packet either joins the FIFO (starting service if the link
   // was idle) or is dropped.
   auto enqueue = [&](std::uint32_t packet, std::uint64_t link, double now) {
-    LinkQueue& q = links[link];
-    if (static_cast<int>(q.packets.size()) >= config.queue_capacity) {
+    if (links.Size(link) >= config.queue_capacity) {
       if (pool[packet].measured) ++result.dropped;
       return;
     }
-    q.packets.push_back(packet);
-    result.max_queue_depth =
-        std::max(result.max_queue_depth, static_cast<int>(q.packets.size()));
-    if (q.packets.size() == 1) {
+    links.Push(link, packet);
+    result.max_queue_depth = std::max(result.max_queue_depth, links.Size(link));
+    if (links.Size(link) == 1) {
       schedule(now + kServiceTime, EventKind::kDepart, link);
     }
   };
@@ -111,9 +198,9 @@ PacketSimResult RunPacketSimMultipath(
              source);
   }
 
-  while (!events.empty()) {
-    const Event event = events.top();
-    events.pop();
+  while (!events.Empty()) {
+    const Event event = events.Top();
+    events.Pop();
     const double now = event.time;
 
     if (event.kind == EventKind::kGenerate) {
@@ -142,12 +229,9 @@ PacketSimResult RunPacketSimMultipath(
     }
 
     // kDepart: the head of this link's queue finished transmission.
-    LinkQueue& q = links[event.payload];
-    DCN_ASSERT(!q.packets.empty());
-    const std::uint32_t id = q.packets.front();
-    q.packets.pop_front();
-    ++q.transmitted;
-    if (!q.packets.empty()) {
+    DCN_ASSERT(!links.Empty(event.payload));
+    const std::uint32_t id = links.PopFront(event.payload);
+    if (!links.Empty(event.payload)) {
       schedule(now + kServiceTime, EventKind::kDepart, event.payload);
     }
 
@@ -165,10 +249,11 @@ PacketSimResult RunPacketSimMultipath(
 
   double busiest = 0.0, total = 0.0;
   std::size_t busy_links = 0;
-  for (const LinkQueue& q : links) {
-    if (q.transmitted == 0) continue;
+  for (std::size_t link = 0; link < link_count; ++link) {
+    const std::uint64_t transmitted = links.Transmitted(link);
+    if (transmitted == 0) continue;
     const double utilization =
-        static_cast<double>(q.transmitted) * kServiceTime / config.duration;
+        static_cast<double>(transmitted) * kServiceTime / config.duration;
     busiest = std::max(busiest, utilization);
     total += utilization;
     ++busy_links;
@@ -181,15 +266,37 @@ PacketSimResult RunPacketSimMultipath(
   return result;
 }
 
-PacketSimResult RunPacketSim(const graph::Graph& graph,
-                             const std::vector<routing::Route>& routes,
-                             const PacketSimConfig& config) {
+std::vector<std::vector<routing::Route>> SingletonCandidates(
+    const std::vector<routing::Route>& routes) {
   std::vector<std::vector<routing::Route>> singleton;
   singleton.reserve(routes.size());
   for (const routing::Route& route : routes) {
     singleton.push_back({route});
   }
-  return RunPacketSimMultipath(graph, singleton, config);
+  return singleton;
+}
+
+}  // namespace
+
+PacketSimResult RunPacketSimMultipath(
+    const graph::Graph& graph,
+    const std::vector<std::vector<routing::Route>>& candidates,
+    const PacketSimConfig& config, SprayPolicy policy) {
+  return RunPacketSimMultipathImpl<BinaryEventQueue, RingLinkStore>(
+      graph, candidates, config, policy);
+}
+
+PacketSimResult RunPacketSim(const graph::Graph& graph,
+                             const std::vector<routing::Route>& routes,
+                             const PacketSimConfig& config) {
+  return RunPacketSimMultipath(graph, SingletonCandidates(routes), config);
+}
+
+PacketSimResult RunPacketSimLegacyBaseline(
+    const graph::Graph& graph, const std::vector<routing::Route>& routes,
+    const PacketSimConfig& config) {
+  return RunPacketSimMultipathImpl<BinaryEventQueue, DequeLinkStore>(
+      graph, SingletonCandidates(routes), config, SprayPolicy::kRoundRobin);
 }
 
 }  // namespace dcn::sim

@@ -70,4 +70,14 @@ PacketSimResult RunPacketSimMultipath(
     const PacketSimConfig& config = {},
     SprayPolicy policy = SprayPolicy::kRoundRobin);
 
+// RunPacketSim driven by the vector-of-deques per-link FIFO storage the
+// simulator used before the flat ring-buffer link store. Both layouts keep
+// identical FIFO semantics and the event queue pops the identical
+// (time, seq) total order, so the result is bit-identical to RunPacketSim —
+// retained solely as the in-process baseline for bench_micro's packetsim
+// entry (and the equivalence test in tests/test_packetsim.cc).
+PacketSimResult RunPacketSimLegacyBaseline(
+    const graph::Graph& graph, const std::vector<routing::Route>& routes,
+    const PacketSimConfig& config = {});
+
 }  // namespace dcn::sim

@@ -79,7 +79,7 @@ TEST(TraversalWorkspaceTest, ReusedAcrossSizesWithoutStaleState) {
       ASSERT_EQ(ws.Dist(node), expect[static_cast<std::size_t>(node)])
           << "round " << round;
     }
-    ASSERT_EQ(ws.VisitedCount(), g.NodeCount());
+    ASSERT_EQ(ws.VisitOrder().size(), g.NodeCount());
   }
 }
 
