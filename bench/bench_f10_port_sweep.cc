@@ -10,8 +10,9 @@
 #include "topology/abccc.h"
 #include "topology/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F10", "the port-count knob: ABCCC(4,3,c) for c = 2..5");
 
   const int n = 4, k = 3;

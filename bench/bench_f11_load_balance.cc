@@ -12,8 +12,9 @@
 #include "topology/abccc.h"
 #include "topology/fattree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F11",
                      "load-balanced permutation choice vs single-path routing");
 

@@ -11,8 +11,9 @@
 #include "topology/abccc.h"
 #include "topology/bcube.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F12", "permutation throughput under accumulating failures");
 
   Table table{{"config", "fail-rate", "live-flows", "routed", "agg-rate",

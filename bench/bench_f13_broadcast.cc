@@ -10,8 +10,9 @@
 #include "topology/abccc.h"
 #include "topology/bcube.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F13", "one-to-all / one-to-many (GBC3 extension)");
 
   Table table{{"topology", "servers", "tree-depth", "tree-links",

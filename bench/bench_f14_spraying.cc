@@ -10,8 +10,9 @@
 #include "sim/packetsim.h"
 #include "topology/abccc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F14", "packet spraying over parallel digit-fixing routes");
 
   const topo::Abccc net{topo::AbcccParams{4, 2, 2}};

@@ -15,8 +15,9 @@
 #include "topology/fattree.h"
 #include "topology/ficonn.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F15", "physical cabling: lengths, fiber counts, cost");
 
   std::vector<std::unique_ptr<topo::Topology>> nets;

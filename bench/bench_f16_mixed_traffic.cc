@@ -8,8 +8,9 @@
 #include "common/table.h"
 #include "topology/abccc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F16", "mice/elephant mix under demand-capped fairness");
 
   constexpr double kMiceDemand = 0.05;  // rate-limited background chatter

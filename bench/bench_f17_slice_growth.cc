@@ -12,8 +12,9 @@
 #include "topology/cost_model.h"
 #include "topology/gabccc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F17", "slice-by-slice growth with mixed radices");
 
   // Ladder: ABCCC(4,1,2) -> ABCCC(4,2,2) via top-level slices.

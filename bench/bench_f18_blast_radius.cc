@@ -13,8 +13,9 @@
 #include "topology/dcell.h"
 #include "topology/fattree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F18", "blast radius: one switch, one rack");
 
   std::vector<std::unique_ptr<topo::Topology>> nets;

@@ -13,8 +13,9 @@
 #include "sim/failures.h"
 #include "topology/abccc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F19", "native fault repair per topology vs connectivity");
 
   const topo::Abccc abccc{topo::AbcccParams{4, 2, 2}};

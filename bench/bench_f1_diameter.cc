@@ -14,8 +14,9 @@
 #include "topology/fattree.h"
 #include "topology/ficonn.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F1", "diameter vs network size (series per topology)");
 
   Table table{{"topology", "config", "servers", "ports/srv", "diameter"}};

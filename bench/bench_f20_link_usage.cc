@@ -10,8 +10,9 @@
 #include "routing/abccc_routing.h"
 #include "topology/abccc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F20", "per-link-class load under permutation traffic");
 
   Table table{{"config", "strategy", "class", "links", "mean-load", "max-load"}};

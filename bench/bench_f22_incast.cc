@@ -9,8 +9,9 @@
 #include "topology/abccc.h"
 #include "topology/bcube.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F22", "incast: fan-in onto one server");
 
   Table table{{"topology", "fan-in", "agg-rate", "min-rate", "pkt-delivered",

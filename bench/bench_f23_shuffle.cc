@@ -14,8 +14,9 @@
 #include "topology/bcube.h"
 #include "topology/fattree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F23", "shuffle completion time (fluid max-min progression)");
 
   constexpr double kBytesPerPair = 1.0;

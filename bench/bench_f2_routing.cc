@@ -10,8 +10,9 @@
 #include "routing/abccc_routing.h"
 #include "topology/abccc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F2",
                      "routed path length vs shortest path; permutation strategies");
 

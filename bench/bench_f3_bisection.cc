@@ -12,8 +12,9 @@
 #include "topology/dcell.h"
 #include "topology/fattree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F3", "bisection width vs network size");
 
   Table table{{"topology", "servers", "bisection", "theory", "bisection/N"}};

@@ -14,8 +14,9 @@
 #include "topology/fattree.h"
 #include "topology/ficonn.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F4", "network CAPEX per server vs size");
 
   const topo::CostModel model;  // documented 2015-era commodity defaults

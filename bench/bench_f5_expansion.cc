@@ -10,8 +10,9 @@
 #include "metrics/capex.h"
 #include "topology/expansion.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F5", "incremental expansion cost and disruption");
 
   Table table{{"step", "servers", "step-$", "cumulative-$", "step-disruption",

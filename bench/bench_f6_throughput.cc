@@ -27,8 +27,9 @@ std::string MeanStd(const dcn::OnlineStats& stats, int precision = 1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader(
       "F6", "flow-level throughput (max-min fair, native routing, 5 seeds)");
 

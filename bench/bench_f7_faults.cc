@@ -10,8 +10,9 @@
 #include "sim/failures.h"
 #include "topology/abccc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F7", "routing success and stretch under random failures");
 
   const topo::Abccc net{topo::AbcccParams{4, 2, 2}};

@@ -11,8 +11,9 @@
 #include "topology/bcube.h"
 #include "topology/dcell.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F8", "parallel path count and length spread");
 
   std::vector<std::unique_ptr<topo::Topology>> nets;

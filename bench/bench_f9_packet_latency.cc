@@ -10,8 +10,9 @@
 #include "topology/abccc.h"
 #include "topology/bcube.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F9", "packet latency and loss vs offered load");
 
   std::vector<std::unique_ptr<topo::Topology>> nets;

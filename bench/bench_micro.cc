@@ -19,10 +19,12 @@
 #include <cstdio>
 #include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "obs/obs.h"
 #include "common/rng.h"
 #include "graph/bfs.h"
 #include "graph/paths.h"
@@ -226,9 +228,16 @@ class LegacyUnitFlow {
 };
 
 struct Entry {
+  explicit Entry(std::string n) : name(std::move(n)) {}
+
   std::string name;
   double ns_per_op = 0.0;
   double baseline_ns_per_op = 0.0;  // 0 = no legacy baseline for this kernel
+  // Selected obs counter readouts (work per op, not time), taken from a
+  // dedicated post-timing run so the measured loops stay untouched. These are
+  // deterministic, so BENCH_core.json diffs catch workload drift — a kernel
+  // whose ns/op "improved" because it does less work is not a speedup.
+  std::vector<std::pair<std::string, double>> obs;
 };
 
 int RunJson() {
@@ -281,6 +290,13 @@ int RunJson() {
       }
       benchmark::DoNotOptimize(total / static_cast<double>(pairs) + diameter);
     });
+    dcn::obs::Reset();
+    benchmark::DoNotOptimize(dcn::metrics::ExactServerPathStats(net));
+    const auto bu = static_cast<double>(
+        dcn::obs::CounterValue("msbfs/levels_bottom_up"));
+    const auto td = static_cast<double>(
+        dcn::obs::CounterValue("msbfs/levels_top_down"));
+    e.obs.emplace_back("msbfs_bottom_up_level_fraction", bu / (bu + td));
     entries.push_back(e);
   }
 
@@ -361,6 +377,11 @@ int RunJson() {
       std::fprintf(stderr, "packetsim link-store baseline mismatch\n");
       return 1;
     }
+    dcn::obs::Reset();
+    benchmark::DoNotOptimize(dcn::sim::RunPacketSim(g, routes, config));
+    e.obs.emplace_back(
+        "events_per_op",
+        static_cast<double>(dcn::obs::CounterValue("packetsim/events")));
     entries.push_back(e);
   }
 
@@ -374,6 +395,9 @@ int RunJson() {
     if (e.baseline_ns_per_op > 0.0) {
       std::printf(", \"baseline_ns_per_op\": %.0f, \"speedup\": %.2f",
                   e.baseline_ns_per_op, e.baseline_ns_per_op / e.ns_per_op);
+    }
+    for (const auto& [key, value] : e.obs) {
+      std::printf(", \"obs_%s\": %.6g", key.c_str(), value);
     }
     std::printf("}%s\n", i + 1 < entries.size() ? "," : "");
   }

@@ -17,10 +17,13 @@
 //
 // Unlike the F-benches this binary measures TIME, so the timing columns vary
 // run to run; the `identical` column and the metric values themselves are
-// deterministic. Flags: --n/--k/--c (topology), --pairs, --trials,
-// --repeats, --threads-max, --min-speedup, --json (machine-readable output
-// for scripts/bench_json.sh: a JSON array of
-// kernel/threads/time_ms/speedup/identical rows instead of the table).
+// deterministic — including the merged obs counters (MS-BFS level direction
+// counts), whose cross-thread-count equality is folded into `identical`.
+// Flags: --n/--k/--c (topology), --pairs, --trials, --repeats,
+// --threads-max, --min-speedup, --json (machine-readable output for
+// scripts/bench_json.sh: a JSON array of kernel/threads/time_ms/speedup/
+// identical rows, plus msbfs_bottom_up_fraction where the kernel enters
+// MS-BFS, instead of the table).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -60,7 +63,8 @@ double BestOf(int repeats, const std::function<void()>& body) {
 
 int main(int argc, char** argv) {
   using namespace dcn;
-  const CliArgs args{argc, argv};
+  const bench::ExperimentEnv env{argc, argv};
+  const CliArgs& args = env.Args();
   const topo::AbcccParams params{
       static_cast<int>(args.GetInt("n", 5)),
       static_cast<int>(args.GetInt("k", 3)),
@@ -148,6 +152,12 @@ int main(int argc, char** argv) {
     double ms = 0.0;
     double speedup = 0.0;
     bool identical = false;
+    // Merged obs counters for the timed runs (0 when the kernel never enters
+    // MS-BFS). Exact integers, so cross-thread-count equality is part of the
+    // `identical` verdict: the observability layer obeys the same determinism
+    // contract as the results it describes.
+    std::uint64_t msbfs_bu_levels = 0;
+    std::uint64_t msbfs_td_levels = 0;
   };
   std::vector<Row> rows;
   bool all_identical = true;
@@ -160,20 +170,36 @@ int main(int argc, char** argv) {
       ref_ms = BestOf(repeats, [&] { ref_digest = kernel.reference(); });
     }
     double serial_digest = 0.0;
+    std::uint64_t serial_bu = 0;
+    std::uint64_t serial_td = 0;
     for (int threads = 1; threads <= threads_max; threads *= 2) {
       SetThreadCount(threads);
       double digest = 0.0;
+      // Counter deltas rather than obs::Reset(): a --trace-out run keeps its
+      // span buffer intact across the whole sweep.
+      const std::uint64_t bu0 = obs::CounterValue("msbfs/levels_bottom_up");
+      const std::uint64_t td0 = obs::CounterValue("msbfs/levels_top_down");
       const double ms = BestOf(repeats, [&] { digest = kernel.run(); });
+      const std::uint64_t bu =
+          (obs::CounterValue("msbfs/levels_bottom_up") - bu0) /
+          static_cast<std::uint64_t>(repeats);
+      const std::uint64_t td =
+          (obs::CounterValue("msbfs/levels_top_down") - td0) /
+          static_cast<std::uint64_t>(repeats);
       if (threads == 1) {
         serial_digest = digest;
+        serial_bu = bu;
+        serial_td = td;
         if (!kernel.reference) {
           ref_ms = ms;
           ref_digest = digest;
         }
       }
-      const bool identical = digest == serial_digest && digest == ref_digest;
+      const bool identical = digest == serial_digest && digest == ref_digest &&
+                             bu == serial_bu && td == serial_td;
       all_identical = all_identical && identical;
-      rows.push_back(Row{kernel.name, threads, ms, ref_ms / ms, identical});
+      rows.push_back(
+          Row{kernel.name, threads, ms, ref_ms / ms, identical, bu, td});
       if (kernel.reference && threads == threads_max &&
           rows.back().speedup < min_speedup) {
         std::fprintf(stderr,
@@ -199,9 +225,16 @@ int main(int argc, char** argv) {
       const Row& row = rows[i];
       std::printf(
           "{\"kernel\": \"%s\", \"threads\": %d, \"time_ms\": %.1f, "
-          "\"speedup\": %.2f, \"identical\": %s}%s\n",
+          "\"speedup\": %.2f, \"identical\": %s",
           row.kernel.c_str(), row.threads, row.ms, row.speedup,
-          row.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+          row.identical ? "true" : "false");
+      if (row.msbfs_bu_levels + row.msbfs_td_levels > 0) {
+        std::printf(", \"msbfs_bottom_up_fraction\": %.4f",
+                    static_cast<double>(row.msbfs_bu_levels) /
+                        static_cast<double>(row.msbfs_bu_levels +
+                                            row.msbfs_td_levels));
+      }
+      std::printf("}%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::printf("]\n");
     return status;

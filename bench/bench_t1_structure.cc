@@ -9,8 +9,9 @@
 #include "topology/abccc.h"
 #include "topology/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("T1", "structural properties of ABCCC(n,k,c)");
 
   Table table{{"n", "k", "c", "servers", "switches", "links", "ports/srv",

@@ -17,8 +17,9 @@
 #include "topology/fattree.h"
 #include "topology/ficonn.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("T2",
                      "ABCCC vs BCCC / BCube / DCell / FiConn / fat-tree, ~1k servers");
 

@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "graph/msbfs.h"
 #include "metrics/path_metrics.h"
+#include "obs/report.h"
 #include "routing/route.h"
 #include "sim/flowsim.h"
 #include "sim/traffic.h"
@@ -22,6 +24,35 @@
 namespace dcn::bench {
 
 inline constexpr std::uint64_t kDefaultSeed = 0xabccc2015u;
+
+// Per-experiment process environment, declared first thing in every
+// bench_* main:
+//
+//   int main(int argc, char** argv) {
+//     const dcn::bench::ExperimentEnv env{argc, argv};
+//     ...
+//
+// Construction parses --key=value flags and applies the global ones
+// (--threads, --trace-out, --stats-json, --obs-report; common/cli.h);
+// destruction flushes whatever obs sinks those flags configured. That is the
+// entire contract: any experiment binary can emit a Chrome trace or an obs
+// stats dump with zero per-file plumbing, and with no sink flags the obs
+// layer stays disabled, so the diff-able stdout tables are untouched.
+class ExperimentEnv {
+ public:
+  ExperimentEnv(int argc, const char* const* argv) : args_{argc, argv} {
+    ApplyGlobalFlags(args_);
+  }
+  ~ExperimentEnv() { obs::FlushSinks(); }
+  ExperimentEnv(const ExperimentEnv&) = delete;
+  ExperimentEnv& operator=(const ExperimentEnv&) = delete;
+
+  // The parsed command line, for experiment-specific parameters.
+  const CliArgs& Args() const { return args_; }
+
+ private:
+  CliArgs args_;
+};
 
 // Eccentricity of server 0 in links, restricted to server targets. All the
 // topologies here are vertex-transitive at the server level (or close to it:

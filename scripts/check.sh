@@ -29,6 +29,24 @@ cmake --preset release
 cmake --build --preset release -j "$JOBS"
 ctest --preset release -j "$JOBS" ${CTEST_ARGS+"${CTEST_ARGS[@]}"}
 
+echo
+echo "== Traced benchmarks + Chrome trace schema check =="
+# A packet-level and an MS-BFS-heavy run with --trace-out: the traces must be
+# valid Chrome trace JSON, show named sim/kernel spans, and (for the scaling
+# bench, whose 2500-server sweep spans dozens of chunks) per-thread pool
+# lanes. scripts/validate_trace.py asserts all three; stdout is discarded —
+# determinism is ctest's job, and --min-speedup=0 keeps this smoke run from
+# double-reporting perf (check.sh --bench owns that).
+./build/bench/bench_f9_packet_latency --threads=4 \
+  --trace-out=build/trace_f9.json > /dev/null
+python3 scripts/validate_trace.py build/trace_f9.json \
+  --expect-span packetsim/run --expect-span parallel/chunk
+./build/bench/bench_parallel_scaling --repeats=1 --threads-max=4 \
+  --min-speedup=0 --trace-out=build/trace_scaling.json > /dev/null
+python3 scripts/validate_trace.py build/trace_scaling.json \
+  --expect-span msbfs/batch --expect-span parallel/chunk \
+  --expect-thread pool-worker-0
+
 if [ "$BENCH" -eq 1 ]; then
   echo
   echo "== Perf regression check vs BENCH_core.json (warn-only) =="

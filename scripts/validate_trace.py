@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Schema check for the Chrome trace-event JSON emitted by obs/trace.h.
+
+Asserts the document is the trace-event "JSON array format" that
+chrome://tracing and Perfetto load:
+
+  * top level is a JSON array;
+  * every event is an object with a "ph" phase;
+  * "M" metadata events are thread_name records carrying args.name;
+  * "X" complete events carry name/cat/pid/tid plus numeric ts/dur >= 0;
+  * per (pid, tid) lane, "X" timestamps are monotone non-decreasing
+    (obs sorts spans by start time within each lane).
+
+Usage: validate_trace.py TRACE.json [--expect-span NAME] [--expect-thread NAME]
+
+--expect-span / --expect-thread (repeatable) additionally require that a span
+or thread-lane with that exact name appears — CI uses them to prove a traced
+benchmark really produced sim/kernel spans and pool-worker lanes.
+
+Exits 0 when valid; prints every violation and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate(events, expect_spans, expect_threads):
+    errors = []
+    if not isinstance(events, list):
+        return ["top-level JSON value must be an array of trace events"]
+
+    last_ts = {}  # (pid, tid) -> latest "X" start time
+    span_names = set()
+    thread_names = set()
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing or non-string 'ph'")
+            continue
+        if ph == "M":
+            if event.get("name") != "thread_name":
+                errors.append(f"{where}: metadata event is not a thread_name record")
+            name = (event.get("args") or {}).get("name")
+            if not isinstance(name, str) or not name:
+                errors.append(f"{where}: thread_name metadata lacks args.name")
+            else:
+                thread_names.add(name)
+        elif ph == "X":
+            for key in ("name", "cat"):
+                if not isinstance(event.get(key), str) or not event.get(key):
+                    errors.append(f"{where}: missing or non-string '{key}'")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    errors.append(f"{where}: missing or non-integer '{key}'")
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"{where}: missing or non-numeric '{key}'")
+                elif value < 0:
+                    errors.append(f"{where}: negative '{key}' ({value})")
+            if isinstance(event.get("name"), str):
+                span_names.add(event["name"])
+            lane = (event.get("pid"), event.get("tid"))
+            ts = event.get("ts")
+            if isinstance(ts, (int, float)) and not isinstance(ts, bool):
+                if lane in last_ts and ts < last_ts[lane]:
+                    errors.append(
+                        f"{where}: ts {ts} goes backwards on lane pid={lane[0]} "
+                        f"tid={lane[1]} (previous {last_ts[lane]})"
+                    )
+                last_ts[lane] = max(last_ts.get(lane, ts), ts)
+        else:
+            errors.append(f"{where}: unexpected phase {ph!r} (obs emits only M and X)")
+
+    for name in expect_spans:
+        if name not in span_names:
+            errors.append(f"no 'X' event named {name!r} in the trace")
+    for name in expect_threads:
+        if name not in thread_names:
+            errors.append(f"no thread lane named {name!r} in the trace")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON file to validate")
+    parser.add_argument("--expect-span", action="append", default=[])
+    parser.add_argument("--expect-thread", action="append", default=[])
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            events = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate(events, args.expect_span, args.expect_thread)
+    if errors:
+        for error in errors:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    complete = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "X")
+    lanes = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "M")
+    print(f"{args.trace}: valid Chrome trace ({complete} spans, {lanes} thread lanes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "common/parallel.h"
+#include "obs/report.h"
 
 namespace dcn {
 
@@ -47,6 +49,11 @@ double CliArgs::GetDouble(const std::string& key, double fallback) const {
   } catch (const std::exception&) {
     throw InvalidArgument{"--" + key + " expects a number, got: " + it->second};
   }
+}
+
+void ApplyGlobalFlags(const CliArgs& args) {
+  ConfigureThreads(args);
+  obs::ConfigureSinks(args);
 }
 
 bool CliArgs::GetBool(const std::string& key, bool fallback) const {

@@ -24,4 +24,13 @@ class CliArgs {
   std::map<std::string, std::string> values_;
 };
 
+// Applies the flags every dcn binary understands, in one call:
+//   --threads=N       thread-pool size (common/parallel.h; 0 = automatic)
+//   --trace-out=FILE  capture spans, write Chrome trace JSON at exit
+//   --stats-json=FILE write merged obs stats as JSON at exit
+//   --obs-report      print the obs report table to stderr at exit
+// The obs sinks are written by obs::FlushSinks(); bench/bench_util.h's
+// ExperimentEnv pairs the two for every experiment binary.
+void ApplyGlobalFlags(const CliArgs& args);
+
 }  // namespace dcn

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/cli.h"
+#include "obs/obs.h"
 
 namespace dcn {
 namespace {
@@ -50,7 +51,9 @@ struct Job {
 };
 
 // Claims and runs chunks until the job is drained (or failed). Called by
-// workers and by the submitting thread alike.
+// workers and by the submitting thread alike. The per-chunk span draws this
+// thread's pool lane in trace exports — the claim itself is untouched, so
+// chunk-to-thread assignment (which never affects results) stays dynamic.
 void Execute(Job& job) {
   tl_in_parallel = true;
   for (;;) {
@@ -58,6 +61,7 @@ void Execute(Job& job) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.num_chunks) break;
     try {
+      OBS_SPAN("parallel/chunk");
       (*job.fn)(c);
     } catch (...) {
       std::lock_guard<std::mutex> lock{job.error_mutex};
@@ -75,7 +79,7 @@ class ThreadPool {
   explicit ThreadPool(int workers) {
     threads_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
-      threads_.emplace_back([this] { WorkerLoop(); });
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
     }
   }
 
@@ -118,7 +122,8 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop(int index) {
+    obs::SetCurrentThreadName("pool-worker-" + std::to_string(index));
     std::uint64_t seen_generation = 0;
     for (;;) {
       std::shared_ptr<Job> job;
@@ -192,14 +197,26 @@ namespace detail {
 
 void RunChunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn) {
   if (num_chunks == 0) return;
+  // Region/chunk totals are a pure function of the submitted work (fixed
+  // chunking), so these counters are bit-identical at any thread count.
+  static obs::Counter& obs_regions = obs::GetCounter("parallel/regions");
+  static obs::Counter& obs_chunks = obs::GetCounter("parallel/chunks");
+  static obs::Gauge& obs_threads = obs::GetGauge("parallel/threads");
+  obs_regions.Add(1);
+  obs_chunks.Add(num_chunks);
+  OBS_SPAN("parallel/region");
   const int threads = ThreadCount();
+  obs_threads.Set(threads);
   if (threads <= 1 || num_chunks == 1 || tl_in_parallel) {
     // Serial path: same chunks, ascending order. Nested regions land here so
     // a worker can safely call into parallel-aware library code.
     const bool was_nested = tl_in_parallel;
     tl_in_parallel = true;
     try {
-      for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        OBS_SPAN("parallel/chunk");
+        fn(c);
+      }
     } catch (...) {
       tl_in_parallel = was_nested;
       throw;

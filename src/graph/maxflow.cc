@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace dcn::graph {
 
@@ -147,14 +148,31 @@ std::int64_t MaxFlowSolver::Solve(std::span<const NodeId> sources,
   }
 
   std::int64_t flow = 0;
-  while (BuildLevels(s, t)) {
-    iter_.assign(offset_.begin(), offset_.end() - 1);
-    while (true) {
-      const std::int64_t pushed = Augment(s, t, kInfinity);
-      if (pushed == 0) break;
-      flow += pushed;
+  std::uint64_t obs_phases = 0;
+  std::uint64_t obs_paths = 0;
+  {
+    OBS_SPAN("dinic/solve");
+    while (BuildLevels(s, t)) {
+      ++obs_phases;
+      iter_.assign(offset_.begin(), offset_.end() - 1);
+      while (true) {
+        const std::int64_t pushed = Augment(s, t, kInfinity);
+        if (pushed == 0) break;
+        ++obs_paths;
+        flow += pushed;
+      }
     }
   }
+  // Phase and augmenting-path counts are exact properties of the instance —
+  // the observables that explain why one cut is slower than another.
+  static obs::Counter& c_solves = obs::GetCounter("dinic/solves");
+  static obs::Counter& c_phases = obs::GetCounter("dinic/phases");
+  static obs::Counter& c_paths = obs::GetCounter("dinic/augmenting_paths");
+  static obs::Histogram& h_phases = obs::GetHistogram("dinic/phases_per_solve");
+  c_solves.Add(1);
+  c_phases.Add(obs_phases);
+  c_paths.Add(obs_paths);
+  h_phases.Add(static_cast<std::int64_t>(obs_phases));
   return flow;
 }
 

@@ -39,6 +39,7 @@
 #include "graph/csr.h"
 #include "graph/graph.h"
 #include "graph/workspace.h"
+#include "obs/obs.h"
 
 namespace dcn::graph {
 
@@ -116,11 +117,34 @@ void MultiSourceBfs(const CsrView& csr, std::span<const NodeId> sources,
   std::sort(active->begin(), active->end());
   for (const NodeId node : *active) visit(0, node, cur[node]);
 
+  // obs: batch/lane totals plus per-level frontier size (log2 buckets) and
+  // the top-down/bottom-up switch decisions — the internals that explain the
+  // direction-optimizing kernel's behavior. All exact integers, a handful of
+  // relaxed shard increments per LEVEL (never per node or edge), so the
+  // traversal itself is untouched and the merged values are bit-identical at
+  // any thread count.
+  OBS_SPAN("msbfs/batch");
+  static obs::Counter& obs_batches = obs::GetCounter("msbfs/batches");
+  static obs::Counter& obs_lanes = obs::GetCounter("msbfs/lanes");
+  static obs::Counter& obs_td = obs::GetCounter("msbfs/levels_top_down");
+  static obs::Counter& obs_bu = obs::GetCounter("msbfs/levels_bottom_up");
+  static obs::Counter& obs_switches =
+      obs::GetCounter("msbfs/direction_switches");
+  static obs::Histogram& obs_frontier =
+      obs::GetHistogram("msbfs/frontier_log2");
+  obs_batches.Add(1);
+  obs_lanes.Add(static_cast<std::uint64_t>(std::popcount(live)));
+  bool obs_prev_bottom_up = false;
+
   for (int level = 1; !active->empty(); ++level) {
     spare->clear();
     const bool bottom_up =
         failures == nullptr && active->size() * msbfs_detail::kBottomUpDivisor >
                                    unfinished_size;
+    (bottom_up ? obs_bu : obs_td).Add(1);
+    if (level > 1 && bottom_up != obs_prev_bottom_up) obs_switches.Add(1);
+    obs_prev_bottom_up = bottom_up;
+    obs_frontier.Add(std::bit_width(active->size()));
     if (bottom_up) {
       if (!unfinished_built) {
         for (NodeId node = 0; static_cast<std::size_t>(node) < nodes; ++node) {

@@ -1,0 +1,409 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace dcn::obs {
+
+namespace detail {
+std::atomic<bool> g_spans_enabled{false};
+std::atomic<bool> g_trace_capture{false};
+}  // namespace detail
+
+namespace {
+
+// Fixed per-kind capacities so shard slot blocks never reallocate (atomics
+// are not movable). Registration sites are static code locations; hitting a
+// cap is a programming error reported loudly, not a silent drop.
+constexpr std::size_t kMaxCounters = 256;
+constexpr std::size_t kMaxGauges = 64;
+constexpr std::size_t kMaxHistograms = 64;
+constexpr std::size_t kMaxSpanSites = 128;
+constexpr std::size_t kHistSlots =
+    static_cast<std::size_t>(Histogram::kMaxExactValue) + 1;
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Per-thread, per-histogram slot block.
+struct HistShard {
+  std::array<std::atomic<std::uint64_t>, kHistSlots> buckets{};
+  std::atomic<std::uint64_t> overflow{0};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<std::int64_t> max{-1};  // -1: nothing added by this thread
+};
+
+struct RawTraceEvent {
+  std::uint32_t site = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+// One thread's slice of every metric. Created on the thread's first obs
+// touch, owned by the registry for the rest of the process (threads are few
+// and bounded: main + pool workers per configured size), so merges never
+// race with shard teardown.
+struct Shard {
+  int thread_index = 0;
+  std::string thread_name;
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauge_value{};
+  std::array<std::atomic<bool>, kMaxGauges> gauge_set{};
+  std::array<std::unique_ptr<HistShard>, kMaxHistograms> hists;
+  std::array<std::atomic<std::uint64_t>, kMaxSpanSites> span_count{};
+  std::array<std::atomic<std::uint64_t>, kMaxSpanSites> span_total_ns{};
+  // Appended only by the owning thread; read by snapshots, which must run
+  // after the writing region completed (the pool's completion sync is the
+  // happens-before edge).
+  std::vector<RawTraceEvent> trace;
+};
+
+struct Registry {
+  std::mutex mutex;
+  // Names in registration order per kind; the maps give idempotent lookup.
+  std::vector<std::string> counter_names, gauge_names, hist_names, span_names;
+  std::map<std::string, std::size_t, std::less<>> counter_ids, gauge_ids,
+      hist_ids, span_ids;
+  // Handle storage: one stable object per registered metric.
+  std::vector<std::unique_ptr<Counter>> counter_handles;
+  std::vector<std::unique_ptr<Gauge>> gauge_handles;
+  std::vector<std::unique_ptr<Histogram>> hist_handles;
+  std::vector<std::unique_ptr<SpanSite>> span_handles;
+  // Shard creation order defines the thread index (= trace lane id).
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+// Leaky singleton: instrumented code may run during static destruction.
+Registry& Reg() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+thread_local Shard* tl_shard = nullptr;
+
+Shard& LocalShard() {
+  if (tl_shard == nullptr) {
+    Registry& reg = Reg();
+    std::lock_guard<std::mutex> lock{reg.mutex};
+    auto shard = std::make_unique<Shard>();
+    shard->thread_index = static_cast<int>(reg.shards.size());
+    shard->thread_name = shard->thread_index == 0
+                             ? "main"
+                             : "thread-" + std::to_string(shard->thread_index);
+    tl_shard = shard.get();
+    reg.shards.push_back(std::move(shard));
+  }
+  return *tl_shard;
+}
+
+HistShard& LocalHistShard(std::size_t id) {
+  Shard& shard = LocalShard();
+  if (shard.hists[id] == nullptr) {
+    // Only the owning thread writes this slot; snapshots read it under the
+    // registry lock after the writer's region completed.
+    shard.hists[id] = std::make_unique<HistShard>();
+  }
+  return *shard.hists[id];
+}
+
+// Registers (or finds) `name` in one kind's tables. `make` constructs the
+// handle — defined inside the befriended Get* functions so the private
+// constructors stay private. Caller holds no lock.
+template <typename Handle, typename Make>
+Handle& Register(std::vector<std::string>& names,
+                 std::map<std::string, std::size_t, std::less<>>& ids,
+                 std::vector<std::unique_ptr<Handle>>& handles,
+                 std::size_t capacity, std::string_view name, const char* kind,
+                 Make make) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  if (const auto it = ids.find(name); it != ids.end()) {
+    return *handles[it->second];
+  }
+  DCN_REQUIRE(names.size() < capacity,
+              std::string{"obs: too many registered "} + kind);
+  const std::size_t id = names.size();
+  names.emplace_back(name);
+  ids.emplace(std::string{name}, id);
+  handles.push_back(make(id));
+  return *handles.back();
+}
+
+void FetchMax(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t seen = slot.load(kRelaxed);
+  while (seen < value && !slot.compare_exchange_weak(seen, value, kRelaxed)) {
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+void RecordSpan(const SpanSite& site, std::uint64_t start_ns) {
+  const std::uint64_t end_ns = NowNs();
+  const std::uint64_t dur_ns = end_ns - start_ns;
+  Shard& shard = LocalShard();
+  const std::size_t id = site.Id();
+  shard.span_count[id].fetch_add(1, kRelaxed);
+  shard.span_total_ns[id].fetch_add(dur_ns, kRelaxed);
+  if (g_trace_capture.load(kRelaxed)) {
+    shard.trace.push_back(
+        RawTraceEvent{static_cast<std::uint32_t>(id), start_ns, dur_ns});
+  }
+}
+
+}  // namespace detail
+
+void Counter::Add(std::uint64_t n) {
+  LocalShard().counters[id_].fetch_add(n, kRelaxed);
+}
+
+std::uint64_t Counter::Value() const {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  std::uint64_t total = 0;
+  for (const auto& shard : reg.shards) total += shard->counters[id_].load(kRelaxed);
+  return total;
+}
+
+Counter& GetCounter(std::string_view name) {
+  Registry& reg = Reg();
+  return Register(reg.counter_names, reg.counter_ids, reg.counter_handles,
+                  kMaxCounters, name, "counters", [](std::size_t id) {
+                    return std::unique_ptr<Counter>{new Counter{id}};
+                  });
+}
+
+void Gauge::Set(std::int64_t value) {
+  Shard& shard = LocalShard();
+  shard.gauge_value[id_].store(value, kRelaxed);
+  shard.gauge_set[id_].store(true, kRelaxed);
+}
+
+std::int64_t Gauge::Value(std::int64_t fallback) const {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  bool any = false;
+  std::int64_t best = 0;
+  for (const auto& shard : reg.shards) {
+    if (!shard->gauge_set[id_].load(kRelaxed)) continue;
+    const std::int64_t v = shard->gauge_value[id_].load(kRelaxed);
+    best = any ? std::max(best, v) : v;
+    any = true;
+  }
+  return any ? best : fallback;
+}
+
+Gauge& GetGauge(std::string_view name) {
+  Registry& reg = Reg();
+  return Register(reg.gauge_names, reg.gauge_ids, reg.gauge_handles,
+                  kMaxGauges, name, "gauges", [](std::size_t id) {
+                    return std::unique_ptr<Gauge>{new Gauge{id}};
+                  });
+}
+
+void Histogram::Add(std::int64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (value < 0) value = 0;
+  HistShard& hist = LocalHistShard(id_);
+  if (value <= kMaxExactValue) {
+    hist.buckets[static_cast<std::size_t>(value)].fetch_add(weight, kRelaxed);
+  } else {
+    hist.overflow.fetch_add(weight, kRelaxed);
+  }
+  hist.count.fetch_add(weight, kRelaxed);
+  hist.sum.fetch_add(value * static_cast<std::int64_t>(weight), kRelaxed);
+  FetchMax(hist.max, value);
+}
+
+Histogram::Snapshot Histogram::Value() const {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  Snapshot merged;
+  std::array<std::uint64_t, kHistSlots> buckets{};
+  std::int64_t max = -1;
+  for (const auto& shard : reg.shards) {
+    const HistShard* hist = shard->hists[id_].get();
+    if (hist == nullptr) continue;
+    for (std::size_t slot = 0; slot < kHistSlots; ++slot) {
+      buckets[slot] += hist->buckets[slot].load(kRelaxed);
+    }
+    merged.overflow += hist->overflow.load(kRelaxed);
+    merged.count += hist->count.load(kRelaxed);
+    merged.sum += hist->sum.load(kRelaxed);
+    max = std::max(max, hist->max.load(kRelaxed));
+  }
+  merged.max = max < 0 ? 0 : max;
+  for (std::size_t slot = 0; slot < kHistSlots; ++slot) {
+    if (buckets[slot] != 0) {
+      merged.buckets.emplace_back(static_cast<std::int64_t>(slot),
+                                  buckets[slot]);
+    }
+  }
+  return merged;
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  Registry& reg = Reg();
+  return Register(reg.hist_names, reg.hist_ids, reg.hist_handles,
+                  kMaxHistograms, name, "histograms", [](std::size_t id) {
+                    return std::unique_ptr<Histogram>{new Histogram{id}};
+                  });
+}
+
+SpanSite& GetSpanSite(std::string_view name) {
+  Registry& reg = Reg();
+  return Register(reg.span_names, reg.span_ids, reg.span_handles,
+                  kMaxSpanSites, name, "span sites", [](std::size_t id) {
+                    return std::unique_ptr<SpanSite>{new SpanSite{id}};
+                  });
+}
+
+void EnableSpans(bool enabled) {
+  detail::g_spans_enabled.store(enabled, kRelaxed);
+  if (!enabled) detail::g_trace_capture.store(false, kRelaxed);
+}
+
+void EnableTraceCapture(bool enabled) {
+  if (enabled) detail::g_spans_enabled.store(true, kRelaxed);
+  detail::g_trace_capture.store(enabled, kRelaxed);
+}
+
+bool TraceCaptureEnabled() {
+  return detail::g_trace_capture.load(kRelaxed);
+}
+
+void SetCurrentThreadName(std::string name) {
+  Shard& shard = LocalShard();
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  shard.thread_name = std::move(name);
+}
+
+void Reset() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  for (const auto& shard : reg.shards) {
+    for (auto& slot : shard->counters) slot.store(0, kRelaxed);
+    for (auto& slot : shard->gauge_value) slot.store(0, kRelaxed);
+    for (auto& slot : shard->gauge_set) slot.store(false, kRelaxed);
+    for (auto& hist : shard->hists) {
+      if (hist == nullptr) continue;
+      for (auto& slot : hist->buckets) slot.store(0, kRelaxed);
+      hist->overflow.store(0, kRelaxed);
+      hist->count.store(0, kRelaxed);
+      hist->sum.store(0, kRelaxed);
+      hist->max.store(-1, kRelaxed);
+    }
+    for (auto& slot : shard->span_count) slot.store(0, kRelaxed);
+    for (auto& slot : shard->span_total_ns) slot.store(0, kRelaxed);
+    shard->trace.clear();
+  }
+}
+
+Snapshot TakeSnapshot() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  Snapshot snap;
+
+  snap.counters.reserve(reg.counter_names.size());
+  for (std::size_t id = 0; id < reg.counter_names.size(); ++id) {
+    CounterRow row{reg.counter_names[id], 0};
+    for (const auto& shard : reg.shards) {
+      row.value += shard->counters[id].load(kRelaxed);
+    }
+    snap.counters.push_back(std::move(row));
+  }
+
+  for (std::size_t id = 0; id < reg.gauge_names.size(); ++id) {
+    GaugeRow row{reg.gauge_names[id], 0, false};
+    for (const auto& shard : reg.shards) {
+      if (!shard->gauge_set[id].load(kRelaxed)) continue;
+      const std::int64_t v = shard->gauge_value[id].load(kRelaxed);
+      row.value = row.set ? std::max(row.value, v) : v;
+      row.set = true;
+    }
+    snap.gauges.push_back(std::move(row));
+  }
+
+  for (std::size_t id = 0; id < reg.hist_names.size(); ++id) {
+    HistogramRow row;
+    row.name = reg.hist_names[id];
+    std::array<std::uint64_t, kHistSlots> buckets{};
+    std::int64_t max = -1;
+    for (const auto& shard : reg.shards) {
+      const HistShard* hist = shard->hists[id].get();
+      if (hist == nullptr) continue;
+      for (std::size_t slot = 0; slot < kHistSlots; ++slot) {
+        buckets[slot] += hist->buckets[slot].load(kRelaxed);
+      }
+      row.stats.overflow += hist->overflow.load(kRelaxed);
+      row.stats.count += hist->count.load(kRelaxed);
+      row.stats.sum += hist->sum.load(kRelaxed);
+      max = std::max(max, hist->max.load(kRelaxed));
+    }
+    row.stats.max = max < 0 ? 0 : max;
+    for (std::size_t slot = 0; slot < kHistSlots; ++slot) {
+      if (buckets[slot] != 0) {
+        row.stats.buckets.emplace_back(static_cast<std::int64_t>(slot),
+                                       buckets[slot]);
+      }
+    }
+    snap.histograms.push_back(std::move(row));
+  }
+
+  for (std::size_t id = 0; id < reg.span_names.size(); ++id) {
+    TimerRow row{reg.span_names[id], 0, 0};
+    for (const auto& shard : reg.shards) {
+      row.count += shard->span_count[id].load(kRelaxed);
+      row.total_ns += shard->span_total_ns[id].load(kRelaxed);
+    }
+    snap.timers.push_back(std::move(row));
+  }
+
+  snap.span_names = reg.span_names;
+  for (const auto& shard : reg.shards) {
+    snap.threads.emplace_back(shard->thread_index, shard->thread_name);
+    for (const RawTraceEvent& event : shard->trace) {
+      snap.trace.push_back(TraceEvent{event.site, shard->thread_index,
+                                      event.start_ns, event.dur_ns});
+    }
+  }
+  // Per-lane monotone timestamps; equal starts order the longer (enclosing)
+  // span first so nesting renders correctly.
+  std::sort(snap.trace.begin(), snap.trace.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+  return snap;
+}
+
+std::uint64_t CounterValue(std::string_view name) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock{reg.mutex};
+  const auto it = reg.counter_ids.find(name);
+  if (it == reg.counter_ids.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& shard : reg.shards) {
+    total += shard->counters[it->second].load(kRelaxed);
+  }
+  return total;
+}
+
+}  // namespace dcn::obs

@@ -1,0 +1,158 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "obs/trace.h"
+
+namespace dcn::obs {
+
+namespace {
+
+struct SinkConfig {
+  std::string trace_path;
+  std::string stats_path;
+  bool report_to_stderr = false;
+};
+
+std::mutex g_sink_mutex;
+SinkConfig g_sinks;
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Table ReportTable(const Snapshot& snapshot) {
+  Table table{{"metric", "kind", "count", "value", "mean", "max"}};
+  for (const CounterRow& row : snapshot.counters) {
+    table.AddRow({row.name, "counter", "", Table::Cell(row.value), "", ""});
+  }
+  for (const GaugeRow& row : snapshot.gauges) {
+    if (!row.set) continue;
+    table.AddRow({row.name, "gauge", "", Table::Cell(row.value), "", ""});
+  }
+  for (const HistogramRow& row : snapshot.histograms) {
+    table.AddRow({row.name, "histogram", Table::Cell(row.stats.count),
+                  Table::Cell(row.stats.sum), Table::Cell(row.stats.Mean(), 3),
+                  Table::Cell(row.stats.max)});
+  }
+  for (const TimerRow& row : snapshot.timers) {
+    if (row.count == 0) continue;
+    const double total_ms = static_cast<double>(row.total_ns) * 1e-6;
+    const double mean_us = static_cast<double>(row.total_ns) * 1e-3 /
+                           static_cast<double>(row.count);
+    table.AddRow({row.name, "timer-ms", Table::Cell(row.count),
+                  Table::Cell(total_ms, 3), Table::Cell(mean_us, 3), ""});
+  }
+  return table;
+}
+
+Table ReportTable() { return ReportTable(TakeSnapshot()); }
+
+void WriteStatsJson(std::ostream& out, const Snapshot& snapshot) {
+  out << "{\n";
+
+  out << "\"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterRow& row = snapshot.counters[i];
+    out << (i == 0 ? "\n" : ",\n") << "  \"" << JsonEscape(row.name)
+        << "\": " << row.value;
+  }
+  out << "\n},\n";
+
+  out << "\"gauges\": {";
+  bool first = true;
+  for (const GaugeRow& row : snapshot.gauges) {
+    if (!row.set) continue;
+    out << (first ? "\n" : ",\n") << "  \"" << JsonEscape(row.name)
+        << "\": " << row.value;
+    first = false;
+  }
+  out << "\n},\n";
+
+  out << "\"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramRow& row = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "  \"" << JsonEscape(row.name)
+        << "\": {\"count\": " << row.stats.count
+        << ", \"sum\": " << row.stats.sum << ", \"max\": " << row.stats.max
+        << ", \"overflow\": " << row.stats.overflow << ", \"buckets\": {";
+    for (std::size_t b = 0; b < row.stats.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << "\"" << row.stats.buckets[b].first
+          << "\": " << row.stats.buckets[b].second;
+    }
+    out << "}}";
+  }
+  out << "\n},\n";
+
+  out << "\"timers\": {";
+  for (std::size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const TimerRow& row = snapshot.timers[i];
+    out << (i == 0 ? "\n" : ",\n") << "  \"" << JsonEscape(row.name)
+        << "\": {\"count\": " << row.count << ", \"total_ns\": " << row.total_ns
+        << "}";
+  }
+  out << "\n}\n}\n";
+}
+
+void WriteStatsJsonFile(const std::string& path) {
+  const Snapshot snapshot = TakeSnapshot();
+  std::ofstream out{path};
+  DCN_REQUIRE(out.good(), "cannot open stats output file: " + path);
+  WriteStatsJson(out, snapshot);
+  out.flush();
+  DCN_REQUIRE(out.good(), "failed writing stats output file: " + path);
+}
+
+void ConfigureSinks(const CliArgs& args) {
+  std::lock_guard<std::mutex> lock{g_sink_mutex};
+  g_sinks.trace_path = args.GetString("trace-out", g_sinks.trace_path);
+  g_sinks.stats_path = args.GetString("stats-json", g_sinks.stats_path);
+  g_sinks.report_to_stderr = args.GetBool("obs-report", g_sinks.report_to_stderr);
+  if (!g_sinks.stats_path.empty() || g_sinks.report_to_stderr) {
+    EnableSpans(true);
+  }
+  if (!g_sinks.trace_path.empty()) EnableTraceCapture(true);
+}
+
+void FlushSinks() {
+  SinkConfig sinks;
+  {
+    std::lock_guard<std::mutex> lock{g_sink_mutex};
+    sinks = std::move(g_sinks);
+    g_sinks = SinkConfig{};
+  }
+  if (!sinks.trace_path.empty()) WriteChromeTraceFile(sinks.trace_path);
+  if (!sinks.stats_path.empty()) WriteStatsJsonFile(sinks.stats_path);
+  if (sinks.report_to_stderr) {
+    ReportTable().Print(std::cerr, "obs: merged instrumentation report");
+  }
+}
+
+}  // namespace dcn::obs

@@ -1,0 +1,49 @@
+// Human- and machine-readable dumps of the obs registry, plus the standard
+// sink wiring every binary shares:
+//
+//   --stats-json=FILE   write merged counters/gauges/histograms/timers as
+//                       JSON at exit (enables span timing)
+//   --trace-out=FILE    additionally capture per-span trace events and write
+//                       Chrome trace JSON at exit (obs/trace.h)
+//   --obs-report        print ReportTable() to stderr at exit (stderr so the
+//                       diff-able stdout tables stay byte-identical)
+//
+// ConfigureSinks parses those flags (common/cli.h); FlushSinks writes
+// whatever was configured. bench/bench_util.h pairs the two automatically
+// for every experiment binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/table.h"
+#include "obs/obs.h"
+
+namespace dcn {
+class CliArgs;
+}  // namespace dcn
+
+namespace dcn::obs {
+
+// One row per registered metric, in registration order: counters (value),
+// gauges (max), histograms (count/mean/max), timers (count/total-ms/mean-us).
+Table ReportTable(const Snapshot& snapshot);
+Table ReportTable();
+
+// {"counters": {...}, "gauges": {...}, "histograms": {...}, "timers": {...}}.
+// Counter and histogram contents are deterministic at any thread count;
+// timer durations are wall-clock and vary run to run.
+void WriteStatsJson(std::ostream& out, const Snapshot& snapshot);
+void WriteStatsJsonFile(const std::string& path);
+
+// Reads --trace-out / --stats-json / --obs-report and enables span timing /
+// trace capture accordingly. Without any of the flags this is a no-op and
+// spans stay disabled (their cost collapses to one predictable branch).
+void ConfigureSinks(const CliArgs& args);
+
+// Writes every sink configured by ConfigureSinks (no-op when none). Call
+// once at process exit, outside parallel regions. Idempotent: flushing
+// clears the configuration.
+void FlushSinks();
+
+}  // namespace dcn::obs

@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace dcn::obs {
+
+namespace {
+
+// JSON string escaping for the small character set that can appear in metric
+// and thread names (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Microseconds with nanosecond precision, as a decimal literal.
+std::string Us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot) {
+  out << "[\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  for (const auto& [tid, name] : snapshot.threads) {
+    comma();
+    out << R"({"ph": "M", "name": "thread_name", "pid": 1, "tid": )" << tid
+        << R"(, "ts": 0, "args": {"name": ")" << JsonEscape(name) << R"("}})";
+  }
+  for (const TraceEvent& event : snapshot.trace) {
+    comma();
+    out << R"({"ph": "X", "name": ")"
+        << JsonEscape(snapshot.span_names[event.site])
+        << R"(", "cat": "obs", "pid": 1, "tid": )" << event.tid
+        << R"(, "ts": )" << Us(event.start_ns) << R"(, "dur": )"
+        << Us(event.dur_ns) << "}";
+  }
+  out << "\n]\n";
+}
+
+void WriteChromeTraceFile(const std::string& path) {
+  const Snapshot snapshot = TakeSnapshot();
+  std::ofstream out{path};
+  DCN_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  WriteChromeTrace(out, snapshot);
+  out.flush();
+  DCN_REQUIRE(out.good(), "failed writing trace output file: " + path);
+}
+
+}  // namespace dcn::obs

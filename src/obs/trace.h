@@ -1,0 +1,27 @@
+// Chrome trace-event JSON export for the spans captured by obs/obs.h.
+//
+// The emitted document is the trace-event "JSON array format": a top-level
+// array holding one `ph:"M"` thread_name metadata event per thread lane
+// followed by `ph:"X"` complete events (name/cat/pid/tid/ts/dur, ts and dur
+// in microseconds) sorted so per-lane timestamps are monotone. Load the file
+// in chrome://tracing or https://ui.perfetto.dev; pool workers appear as
+// their own lanes ("pool-worker-N"), so region/chunk spans visualize pool
+// occupancy directly. scripts/validate_trace.py asserts this schema.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace dcn::obs {
+
+// Serializes a snapshot's trace events. Emits a valid (possibly empty) array
+// even when capture was never enabled.
+void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot);
+
+// TakeSnapshot() + WriteChromeTrace to `path`; throws InvalidArgument when
+// the file cannot be written. Call outside parallel regions.
+void WriteChromeTraceFile(const std::string& path);
+
+}  // namespace dcn::obs

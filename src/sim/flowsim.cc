@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace dcn::sim {
 
@@ -19,6 +20,7 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
     DCN_REQUIRE(demand > 0, "flow demands must be positive");
   }
 
+  OBS_SPAN("flowsim/maxmin");
   FlowSimResult result;
   result.rates.assign(routes.size(), 0.0);
 
@@ -44,7 +46,9 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
     ++unfixed;
   }
 
+  std::uint64_t obs_rounds = 0;
   while (unfixed > 0) {
+    ++obs_rounds;
     // Bottleneck link: smallest fair share among links with active flows.
     double best_share = std::numeric_limits<double>::infinity();
     std::uint64_t bottleneck = 0;
@@ -98,6 +102,16 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
       if (crosses) freeze(f, best_share);
     }
   }
+
+  // Rounds-to-convergence of the progressive-filling loop (each round scans
+  // every link for the bottleneck): the quantity that decides whether this
+  // water-filling needs a heap. Deterministic per (graph, routes, demands).
+  static obs::Counter& c_calls = obs::GetCounter("flowsim/calls");
+  static obs::Counter& c_rounds = obs::GetCounter("flowsim/bottleneck_rounds");
+  static obs::Histogram& h_rounds = obs::GetHistogram("flowsim/rounds_per_call");
+  c_calls.Add(1);
+  c_rounds.Add(obs_rounds);
+  h_rounds.Add(static_cast<std::int64_t>(obs_rounds));
 
   double min_rate = std::numeric_limits<double>::infinity();
   double max_rate = 0.0;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "sim/flowsim.h"
 
 namespace dcn::sim {
@@ -17,6 +18,7 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
     DCN_REQUIRE(b > 0, "flow sizes must be positive");
   }
 
+  OBS_SPAN("fluid/run");
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
   FluidResult result;
   result.finish_time.assign(routes.size(), kInfinity);
@@ -32,6 +34,11 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
       ++active;
     }
   }
+
+  static obs::Counter& c_runs = obs::GetCounter("fluid/runs");
+  static obs::Counter& c_recomputations =
+      obs::GetCounter("fluid/rate_recomputations");
+  c_runs.Add(1);
 
   double now = 0.0;
   while (active > 0) {
@@ -66,6 +73,7 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
       }
     }
   }
+  c_recomputations.Add(static_cast<std::uint64_t>(result.rate_recomputations));
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace dcn::sim {
 
@@ -150,20 +151,28 @@ PacketSimResult RunPacketSimMultipathImpl(
   graph::EpochMarks used_links;
   std::vector<std::vector<std::uint64_t>> route_links;
   std::vector<std::size_t> offset(candidates.size() + 1, 0);
-  for (std::size_t source = 0; source < candidates.size(); ++source) {
-    DCN_REQUIRE(!candidates[source].empty(),
-                "every source needs at least one candidate route");
-    for (const routing::Route& route : candidates[source]) {
-      DCN_REQUIRE(route.LinkCount() >= 1,
-                  "packet sim routes must traverse at least one link");
-      DCN_REQUIRE(route.Src() == candidates[source].front().Src(),
-                  "a source's candidate routes must share their origin");
-      route_links.emplace_back();
-      routing::RouteDirectedLinksInto(csr, route, used_links, route_links.back());
+  {
+    OBS_SPAN("packetsim/setup");
+    for (std::size_t source = 0; source < candidates.size(); ++source) {
+      DCN_REQUIRE(!candidates[source].empty(),
+                  "every source needs at least one candidate route");
+      for (const routing::Route& route : candidates[source]) {
+        DCN_REQUIRE(route.LinkCount() >= 1,
+                    "packet sim routes must traverse at least one link");
+        DCN_REQUIRE(route.Src() == candidates[source].front().Src(),
+                    "a source's candidate routes must share their origin");
+        route_links.emplace_back();
+        routing::RouteDirectedLinksInto(csr, route, used_links,
+                                        route_links.back());
+      }
+      offset[source + 1] = route_links.size();
     }
-    offset[source + 1] = route_links.size();
   }
   std::vector<std::size_t> next_candidate(candidates.size(), 0);
+  std::size_t longest_route = 0;
+  for (const std::vector<std::uint64_t>& links : route_links) {
+    longest_route = std::max(longest_route, links.size());
+  }
 
   const std::size_t link_count = graph.EdgeCount() * 2;
   LinkStore links(link_count, config.queue_capacity);
@@ -177,6 +186,14 @@ PacketSimResult RunPacketSimMultipathImpl(
     events.Push(Event{time, kind, payload, seq++});
   };
 
+  // obs accumulators, kept in plain locals on the simulation's own cache
+  // lines and flushed into the sharded registry once at the end — the hot
+  // event loop stays byte-for-byte the computation it was.
+  std::uint64_t obs_events = 0;
+  std::vector<std::uint64_t> obs_queue_depth(
+      static_cast<std::size_t>(config.queue_capacity) + 1, 0);
+  std::vector<std::uint64_t> obs_hops(longest_route + 1, 0);
+
   // On enqueue, a packet either joins the FIFO (starting service if the link
   // was idle) or is dropped.
   auto enqueue = [&](std::uint32_t packet, std::uint64_t link, double now) {
@@ -185,6 +202,7 @@ PacketSimResult RunPacketSimMultipathImpl(
       return;
     }
     links.Push(link, packet);
+    ++obs_queue_depth[static_cast<std::size_t>(links.Size(link))];
     result.max_queue_depth = std::max(result.max_queue_depth, links.Size(link));
     if (links.Size(link) == 1) {
       schedule(now + kServiceTime, EventKind::kDepart, link);
@@ -198,9 +216,11 @@ PacketSimResult RunPacketSimMultipathImpl(
              source);
   }
 
+  OBS_SPAN("packetsim/run");
   while (!events.Empty()) {
     const Event event = events.Top();
     events.Pop();
+    ++obs_events;
     const double now = event.time;
 
     if (event.kind == EventKind::kGenerate) {
@@ -238,6 +258,7 @@ PacketSimResult RunPacketSimMultipathImpl(
     Packet& packet = pool[id];
     ++packet.hop;
     if (packet.hop == route_links[packet.route].size()) {
+      ++obs_hops[packet.hop];
       if (packet.measured) {
         ++result.delivered;
         result.latency.Add(now - packet.born);
@@ -263,6 +284,30 @@ PacketSimResult RunPacketSimMultipathImpl(
       busy_links == 0 ? 0.0 : total / static_cast<double>(busy_links);
 
   DCN_ASSERT(result.delivered + result.dropped <= result.measured);
+
+  // Flush the locally accumulated statistics. Every value is an exact count
+  // determined by (graph, routes, config), so merged obs readouts are as
+  // reproducible as the simulation itself.
+  static obs::Counter& c_runs = obs::GetCounter("packetsim/runs");
+  static obs::Counter& c_events = obs::GetCounter("packetsim/events");
+  static obs::Counter& c_generated = obs::GetCounter("packetsim/generated");
+  static obs::Counter& c_delivered = obs::GetCounter("packetsim/delivered");
+  static obs::Counter& c_dropped = obs::GetCounter("packetsim/dropped");
+  static obs::Gauge& g_depth = obs::GetGauge("packetsim/max_queue_depth");
+  static obs::Histogram& h_depth = obs::GetHistogram("packetsim/queue_depth");
+  static obs::Histogram& h_hops = obs::GetHistogram("packetsim/hops");
+  c_runs.Add(1);
+  c_events.Add(obs_events);
+  c_generated.Add(result.generated);
+  c_delivered.Add(result.delivered);
+  c_dropped.Add(result.dropped);
+  g_depth.Set(result.max_queue_depth);
+  for (std::size_t depth = 0; depth < obs_queue_depth.size(); ++depth) {
+    h_depth.Add(static_cast<std::int64_t>(depth), obs_queue_depth[depth]);
+  }
+  for (std::size_t hops = 0; hops < obs_hops.size(); ++hops) {
+    h_hops.Add(static_cast<std::int64_t>(hops), obs_hops[hops]);
+  }
   return result;
 }
 
