@@ -14,8 +14,14 @@ int main(int argc, char** argv) {
   const bench::ExperimentEnv env{argc, argv};
   bench::PrintHeader("F22", "incast: fan-in onto one server");
 
+  // --latency-breakdown appends a second table splitting delivered-packet
+  // latency into serialization and queueing; under incast the queue-share
+  // column is the direct readout of fan-in congestion.
+  const bool breakdown = env.Args().GetBool("latency-breakdown", false);
   Table table{{"topology", "fan-in", "agg-rate", "min-rate", "pkt-delivered",
                "pkt-p99-lat"}};
+  Table bd_table{{"topology", "fan-in", "delivered", "hops-mean", "serial-mean",
+                  "queue-mean", "queue-p99", "queue-share"}};
   Rng rng{bench::kDefaultSeed};
 
   auto run = [&](const topo::Topology& net) {
@@ -37,6 +43,17 @@ int main(int argc, char** argv) {
                     Table::Cell(fair.aggregate, 2), Table::Cell(fair.min_rate, 3),
                     Table::Percent(packets.DeliveredFraction(), 1),
                     Table::Cell(packets.latency.Percentile(0.99), 1)});
+      if (breakdown) {
+        const obs::flight::LatencyBreakdown& bd = packets.breakdown;
+        const bool any = bd.queueing.Count() > 0;
+        bd_table.AddRow(
+            {net.Describe(), Table::Cell(fan_in),
+             Table::Cell(packets.delivered), Table::Cell(bd.hops.Mean(), 2),
+             Table::Cell(bd.MeanSerialization(), 2),
+             Table::Cell(any ? bd.queueing.Mean() : 0.0, 2),
+             Table::Cell(any ? bd.queueing.Percentile(0.99) : 0.0, 1),
+             Table::Percent(bd.QueueingShare(), 1)});
+      }
     }
   };
 
@@ -45,6 +62,11 @@ int main(int argc, char** argv) {
   run(topo::Bcube{4, 2});
 
   table.Print(std::cout, "F22: incast fan-in");
+  if (breakdown) {
+    std::cout << "\n";
+    bd_table.Print(std::cout,
+                   "F22: latency decomposition (serialization vs queueing)");
+  }
   std::cout << "\nExpected shape: flow-level aggregate saturates at the "
                "receiver's usable ports (up to c-1 level planes + crossbar "
                "relay); packet delivery collapses once fan-in * load exceeds "

@@ -20,8 +20,14 @@ int main(int argc, char** argv) {
   nets.push_back(std::make_unique<topo::Abccc>(topo::AbcccParams{4, 1, 3}));
   nets.push_back(std::make_unique<topo::Bcube>(4, 1));
 
+  // --latency-breakdown (a flight-recorder flag, obs/report.h) appends a
+  // second table decomposing delivered-packet latency into serialization
+  // (hops x service time) and queueing; the main table stays byte-identical.
+  const bool breakdown = env.Args().GetBool("latency-breakdown", false);
   Table table{{"topology", "servers", "load", "delivered", "mean-lat", "p50",
                "p99"}};
+  Table bd_table{{"topology", "load", "delivered", "hops-mean", "serial-mean",
+                  "queue-mean", "queue-p99", "queue-share"}};
   Rng rng{bench::kDefaultSeed};
   for (const auto& net : nets) {
     Rng traffic_rng = rng.Fork();
@@ -41,9 +47,25 @@ int main(int argc, char** argv) {
                     Table::Cell(result.latency.Mean(), 2),
                     Table::Cell(result.latency.Percentile(0.5), 1),
                     Table::Cell(result.latency.Percentile(0.99), 1)});
+      if (breakdown) {
+        const obs::flight::LatencyBreakdown& bd = result.breakdown;
+        const bool any = bd.queueing.Count() > 0;
+        bd_table.AddRow(
+            {net->Describe(), Table::Cell(load, 2),
+             Table::Cell(result.delivered), Table::Cell(bd.hops.Mean(), 2),
+             Table::Cell(bd.MeanSerialization(), 2),
+             Table::Cell(any ? bd.queueing.Mean() : 0.0, 2),
+             Table::Cell(any ? bd.queueing.Percentile(0.99) : 0.0, 1),
+             Table::Percent(bd.QueueingShare(), 1)});
+      }
     }
   }
   table.Print(std::cout, "F9: packet-level latency vs load");
+  if (breakdown) {
+    std::cout << "\n";
+    bd_table.Print(std::cout,
+                   "F9: latency decomposition (serialization vs queueing)");
+  }
   std::cout << "\nExpected shape: latency is flat near the hop count at low "
                "load and climbs past the knee (~0.5-0.7 for permutation "
                "traffic on 2-port designs); larger c pushes the knee right "

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Perf trajectory for the micro-kernel benchmarks.
+
+Maintains results/bench_history.jsonl: one JSON object per line, each a
+recorded BENCH_core.json run —
+
+  {"label": "...", "timestamp": "...", "kernels": {name: ns_per_op, ...}}
+
+Two operations, combinable in one invocation (check runs first):
+
+  --append   extract the "micro" kernels from --input and append one history
+             entry.
+  --check    compare --input against the most recent history entry; kernels
+             more than --threshold (default 0.10 = 10%) slower are flagged.
+             Exits 1 on any flag unless --warn-only (numbers are
+             machine-relative, so CI uses --warn-only; a developer chasing a
+             regression on one machine runs it strict).
+
+Usage:
+  scripts/bench_history.py --append [--label NAME]        # record a run
+  scripts/bench_history.py --check --warn-only            # CI regression scan
+  scripts/bench_history.py --check --threshold 0.25       # strict, looser bar
+
+The default --input is the committed BENCH_core.json; point it at a fresh
+`bench_micro --json` assembly (scripts/bench_json.sh writes one) to record or
+check new numbers.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import sys
+
+
+def load_kernels(path):
+    """name -> ns_per_op from a BENCH_core.json-shaped document."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    micro = document.get("micro")
+    if not isinstance(micro, list):
+        raise ValueError(f"{path}: no 'micro' array")
+    kernels = {}
+    for row in micro:
+        name = row.get("name")
+        ns = row.get("ns_per_op")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)):
+            raise ValueError(f"{path}: malformed micro row {row!r}")
+        kernels[name] = ns
+    if not kernels:
+        raise ValueError(f"{path}: 'micro' array is empty")
+    return kernels
+
+
+def read_history(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: {error}") from error
+    return entries
+
+
+def check(kernels, history, threshold):
+    """Returns a list of regression strings vs the last history entry."""
+    if not history:
+        return None  # nothing to compare against — not a failure
+    reference = history[-1]
+    ref_kernels = reference.get("kernels", {})
+    flagged = []
+    for name, ns in sorted(kernels.items()):
+        ref = ref_kernels.get(name)
+        if not isinstance(ref, (int, float)) or ref <= 0:
+            continue
+        ratio = ns / ref
+        if ratio > 1.0 + threshold:
+            flagged.append(
+                f"{name}: {ns:.0f} ns/op is {ratio:.2f}x the last recorded "
+                f"run ({ref:.0f} ns/op, label {reference.get('label')!r})"
+            )
+    for name in sorted(set(ref_kernels) - set(kernels)):
+        flagged.append(f"{name}: present in history but missing from this run")
+    return flagged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--input", default="BENCH_core.json",
+                        help="BENCH_core.json-shaped run to record/check")
+    parser.add_argument("--history", default="results/bench_history.jsonl")
+    parser.add_argument("--label", default="local",
+                        help="tag stored with --append (e.g. a commit sha)")
+    parser.add_argument("--append", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional slowdown that counts as a regression")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    args = parser.parse_args()
+    if not args.append and not args.check:
+        parser.error("nothing to do: pass --append and/or --check")
+
+    try:
+        kernels = load_kernels(args.input)
+        history = read_history(args.history)
+    except (OSError, ValueError) as error:
+        print(f"bench_history: {error}", file=sys.stderr)
+        return 1
+
+    status = 0
+    if args.check:
+        flagged = check(kernels, history, args.threshold)
+        if flagged is None:
+            print(f"bench_history: {args.history} is empty — nothing to "
+                  "compare against")
+        elif flagged:
+            for line in flagged:
+                print(f"bench_history: regression: {line}", file=sys.stderr)
+            if not args.warn_only:
+                status = 1
+        else:
+            print(f"bench_history: {len(kernels)} kernels within "
+                  f"{args.threshold:.0%} of the last recorded run")
+
+    if args.append:
+        entry = {
+            "label": args.label,
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "kernels": kernels,
+        }
+        os.makedirs(os.path.dirname(args.history) or ".", exist_ok=True)
+        with open(args.history, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"bench_history: appended {len(kernels)} kernels to "
+              f"{args.history} (label {args.label!r})")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,23 @@ echo "== Traced benchmarks + Chrome trace schema check =="
   --trace-out=build/trace_f9.json > /dev/null
 python3 scripts/validate_trace.py build/trace_f9.json \
   --expect-span packetsim/run --expect-span parallel/chunk
+# Same benchmark with the flight recorder fully on: sampled packet lanes must
+# appear as matched flow events, and the latency-breakdown / FCT /
+# time-series sinks must all write. The F9 table itself must stay
+# byte-identical to the untraced run (the recorder only observes).
+./build/bench/bench_f9_packet_latency --threads=4 > build/f9_plain.txt
+./build/bench/bench_f9_packet_latency --threads=4 \
+  --flight-sample=0.05 --flight-bucket=50 --latency-breakdown \
+  --trace-out=build/trace_f9_flight.json \
+  --timeseries-csv=build/f9_timeseries.csv \
+  --fct-csv=build/f9_fct.csv > build/f9_flight.txt
+python3 scripts/validate_trace.py build/trace_f9_flight.json \
+  --expect-span packetsim/run --expect-flight
+if ! diff <(sed -n '/== F9: packet-level/,/^$/p' build/f9_plain.txt) \
+          <(sed -n '/== F9: packet-level/,/^$/p' build/f9_flight.txt); then
+  echo "error: F9 table changed with the flight recorder enabled" >&2
+  exit 1
+fi
 ./build/bench/bench_parallel_scaling --repeats=1 --threads-max=4 \
   --min-speedup=0 --trace-out=build/trace_scaling.json > /dev/null
 python3 scripts/validate_trace.py build/trace_scaling.json \

@@ -6,16 +6,24 @@ chrome://tracing and Perfetto load:
 
   * top level is a JSON array;
   * every event is an object with a "ph" phase;
-  * "M" metadata events are thread_name records carrying args.name;
+  * "M" metadata events are thread_name or process_name records with args.name;
   * "X" complete events carry name/cat/pid/tid plus numeric ts/dur >= 0;
   * per (pid, tid) lane, "X" timestamps are monotone non-decreasing
-    (obs sorts spans by start time within each lane).
+    (obs sorts spans by start time within each lane);
+  * flight-recorder "X" events (cat == "flight", obs/flight.h) additionally
+    carry an args object with integer packet/source/hop >= 0, numeric
+    wait/service >= 0, and boolean measured;
+  * flow events ("s"/"f") carry name/cat/id/pid/tid and numeric ts >= 0, and
+    every flow id has exactly one start and one matching finish.
 
-Usage: validate_trace.py TRACE.json [--expect-span NAME] [--expect-thread NAME]
+Usage: validate_trace.py TRACE.json [--expect-span NAME]
+                         [--expect-thread NAME] [--expect-flight]
 
 --expect-span / --expect-thread (repeatable) additionally require that a span
 or thread-lane with that exact name appears — CI uses them to prove a traced
 benchmark really produced sim/kernel spans and pool-worker lanes.
+--expect-flight requires at least one flight X event and one matched flow
+start/finish pair, proving packet sampling really recorded lifecycles.
 
 Exits 0 when valid; prints every violation and exits 1 otherwise.
 """
@@ -25,7 +33,7 @@ import json
 import sys
 
 
-def validate(events, expect_spans, expect_threads):
+def validate(events, expect_spans, expect_threads, expect_flight):
     errors = []
     if not isinstance(events, list):
         return ["top-level JSON value must be an array of trace events"]
@@ -33,6 +41,9 @@ def validate(events, expect_spans, expect_threads):
     last_ts = {}  # (pid, tid) -> latest "X" start time
     span_names = set()
     thread_names = set()
+    flight_events = 0
+    flow_starts = {}  # id -> count
+    flow_finishes = {}  # id -> count
     for i, event in enumerate(events):
         where = f"event[{i}]"
         if not isinstance(event, dict):
@@ -43,12 +54,15 @@ def validate(events, expect_spans, expect_threads):
             errors.append(f"{where}: missing or non-string 'ph'")
             continue
         if ph == "M":
-            if event.get("name") != "thread_name":
-                errors.append(f"{where}: metadata event is not a thread_name record")
+            if event.get("name") not in ("thread_name", "process_name"):
+                errors.append(
+                    f"{where}: metadata event is neither a thread_name nor a "
+                    "process_name record"
+                )
             name = (event.get("args") or {}).get("name")
             if not isinstance(name, str) or not name:
-                errors.append(f"{where}: thread_name metadata lacks args.name")
-            else:
+                errors.append(f"{where}: metadata event lacks args.name")
+            elif event.get("name") == "thread_name":
                 thread_names.add(name)
         elif ph == "X":
             for key in ("name", "cat"):
@@ -65,6 +79,9 @@ def validate(events, expect_spans, expect_threads):
                     errors.append(f"{where}: negative '{key}' ({value})")
             if isinstance(event.get("name"), str):
                 span_names.add(event["name"])
+            if event.get("cat") == "flight":
+                flight_events += 1
+                errors.extend(validate_flight_args(event, where))
             lane = (event.get("pid"), event.get("tid"))
             ts = event.get("ts")
             if isinstance(ts, (int, float)) and not isinstance(ts, bool):
@@ -74,8 +91,37 @@ def validate(events, expect_spans, expect_threads):
                         f"tid={lane[1]} (previous {last_ts[lane]})"
                     )
                 last_ts[lane] = max(last_ts.get(lane, ts), ts)
+        elif ph in ("s", "f"):
+            for key in ("name", "cat"):
+                if not isinstance(event.get(key), str) or not event.get(key):
+                    errors.append(f"{where}: missing or non-string '{key}'")
+            for key in ("pid", "tid", "id"):
+                if not isinstance(event.get(key), int):
+                    errors.append(f"{where}: missing or non-integer '{key}'")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                errors.append(f"{where}: missing or non-numeric 'ts'")
+            elif ts < 0:
+                errors.append(f"{where}: negative 'ts' ({ts})")
+            flow_id = event.get("id")
+            if isinstance(flow_id, int):
+                side = flow_starts if ph == "s" else flow_finishes
+                side[flow_id] = side.get(flow_id, 0) + 1
         else:
-            errors.append(f"{where}: unexpected phase {ph!r} (obs emits only M and X)")
+            errors.append(
+                f"{where}: unexpected phase {ph!r} (obs emits only M, X, s, f)"
+            )
+
+    for flow_id, count in sorted(flow_starts.items()):
+        if count != 1:
+            errors.append(f"flow id {flow_id}: {count} starts (expected 1)")
+        if flow_finishes.get(flow_id, 0) != 1:
+            errors.append(
+                f"flow id {flow_id}: {flow_finishes.get(flow_id, 0)} finishes "
+                "(expected exactly 1)"
+            )
+    for flow_id in sorted(set(flow_finishes) - set(flow_starts)):
+        errors.append(f"flow id {flow_id}: finish without a start")
 
     for name in expect_spans:
         if name not in span_names:
@@ -83,6 +129,37 @@ def validate(events, expect_spans, expect_threads):
     for name in expect_threads:
         if name not in thread_names:
             errors.append(f"no thread lane named {name!r} in the trace")
+    if expect_flight:
+        if flight_events == 0:
+            errors.append("no flight 'X' events (cat == \"flight\") in the trace")
+        matched = [f for f in flow_starts if flow_finishes.get(f, 0) == 1]
+        if not matched:
+            errors.append("no matched flow start/finish pair in the trace")
+    return errors
+
+
+def validate_flight_args(event, where):
+    """Sampled-packet args schema for cat == "flight" X events."""
+    errors = []
+    args = event.get("args")
+    if not isinstance(args, dict):
+        return [f"{where}: flight event lacks an args object"]
+    for key in ("packet", "source", "hop"):
+        value = args.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"{where}: flight args missing integer '{key}'")
+        elif value < 0:
+            errors.append(f"{where}: flight args negative '{key}' ({value})")
+    for key in ("wait", "service"):
+        value = args.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: flight args missing numeric '{key}'")
+        elif value < 0 and not args.get("dropped"):
+            errors.append(f"{where}: flight args negative '{key}' ({value})")
+    if not isinstance(args.get("measured"), bool):
+        errors.append(f"{where}: flight args missing boolean 'measured'")
+    if "dropped" in args and args["dropped"] is not True:
+        errors.append(f"{where}: flight args 'dropped', when present, must be true")
     return errors
 
 
@@ -91,6 +168,7 @@ def main():
     parser.add_argument("trace", help="Chrome trace JSON file to validate")
     parser.add_argument("--expect-span", action="append", default=[])
     parser.add_argument("--expect-thread", action="append", default=[])
+    parser.add_argument("--expect-flight", action="store_true")
     args = parser.parse_args()
 
     try:
@@ -100,15 +178,22 @@ def main():
         print(f"{args.trace}: {error}", file=sys.stderr)
         return 1
 
-    errors = validate(events, args.expect_span, args.expect_thread)
+    errors = validate(events, args.expect_span, args.expect_thread,
+                      args.expect_flight)
     if errors:
-        for error in errors:
+        for error in errors[:50]:
             print(f"{args.trace}: {error}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"{args.trace}: ... and {len(errors) - 50} more", file=sys.stderr)
         return 1
 
     complete = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "X")
     lanes = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "M")
-    print(f"{args.trace}: valid Chrome trace ({complete} spans, {lanes} thread lanes)")
+    flows = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "s")
+    print(
+        f"{args.trace}: valid Chrome trace "
+        f"({complete} spans, {lanes} metadata lanes, {flows} packet flows)"
+    )
     return 0
 
 

@@ -8,6 +8,8 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "obs/flight.h"
+#include "obs/timeseries.h"
 
 namespace dcn::obs {
 
@@ -295,24 +297,32 @@ void SetCurrentThreadName(std::string name) {
 }
 
 void Reset() {
-  Registry& reg = Reg();
-  std::lock_guard<std::mutex> lock{reg.mutex};
-  for (const auto& shard : reg.shards) {
-    for (auto& slot : shard->counters) slot.store(0, kRelaxed);
-    for (auto& slot : shard->gauge_value) slot.store(0, kRelaxed);
-    for (auto& slot : shard->gauge_set) slot.store(false, kRelaxed);
-    for (auto& hist : shard->hists) {
-      if (hist == nullptr) continue;
-      for (auto& slot : hist->buckets) slot.store(0, kRelaxed);
-      hist->overflow.store(0, kRelaxed);
-      hist->count.store(0, kRelaxed);
-      hist->sum.store(0, kRelaxed);
-      hist->max.store(-1, kRelaxed);
+  {
+    Registry& reg = Reg();
+    std::lock_guard<std::mutex> lock{reg.mutex};
+    for (const auto& shard : reg.shards) {
+      for (auto& slot : shard->counters) slot.store(0, kRelaxed);
+      for (auto& slot : shard->gauge_value) slot.store(0, kRelaxed);
+      for (auto& slot : shard->gauge_set) slot.store(false, kRelaxed);
+      for (auto& hist : shard->hists) {
+        if (hist == nullptr) continue;
+        for (auto& slot : hist->buckets) slot.store(0, kRelaxed);
+        hist->overflow.store(0, kRelaxed);
+        hist->count.store(0, kRelaxed);
+        hist->sum.store(0, kRelaxed);
+        hist->max.store(-1, kRelaxed);
+      }
+      for (auto& slot : shard->span_count) slot.store(0, kRelaxed);
+      for (auto& slot : shard->span_total_ns) slot.store(0, kRelaxed);
+      shard->trace.clear();
     }
-    for (auto& slot : shard->span_count) slot.store(0, kRelaxed);
-    for (auto& slot : shard->span_total_ns) slot.store(0, kRelaxed);
-    shard->trace.clear();
   }
+  // The flight recorder and its time series reset with the metrics so
+  // repeated experiments in one process (tests, bench loops) start from run
+  // id 0 with an empty series registry. Outside the registry lock: these
+  // registries have their own locks and never call back into this one.
+  detail::ResetTimeSeriesRegistry();
+  flight::detail::ResetRuns();
 }
 
 Snapshot TakeSnapshot() {

@@ -178,8 +178,10 @@ class ScopedSpan {
 void SetCurrentThreadName(std::string name);
 
 // Zeroes every metric value, span aggregate, and buffered trace event while
-// keeping all registrations (and handles) valid. Call between test cases or
-// measurement windows, outside parallel regions.
+// keeping all registrations (and handles) valid. Also clears the flight
+// recorder's sealed runs (obs/flight.h) and the whole time-series registry
+// (obs/timeseries.h — those handles DO become invalid). Call between test
+// cases or measurement windows, outside parallel regions.
 void Reset();
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,8 @@
 
 #include "common/cli.h"
 #include "common/error.h"
+#include "obs/flight.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace dcn::obs {
@@ -18,6 +20,9 @@ namespace {
 struct SinkConfig {
   std::string trace_path;
   std::string stats_path;
+  std::string fct_path;
+  std::string timeseries_csv_path;
+  std::string timeseries_json_path;
   bool report_to_stderr = false;
 };
 
@@ -134,11 +139,33 @@ void ConfigureSinks(const CliArgs& args) {
   std::lock_guard<std::mutex> lock{g_sink_mutex};
   g_sinks.trace_path = args.GetString("trace-out", g_sinks.trace_path);
   g_sinks.stats_path = args.GetString("stats-json", g_sinks.stats_path);
+  g_sinks.fct_path = args.GetString("fct-csv", g_sinks.fct_path);
+  g_sinks.timeseries_csv_path =
+      args.GetString("timeseries-csv", g_sinks.timeseries_csv_path);
+  g_sinks.timeseries_json_path =
+      args.GetString("timeseries-json", g_sinks.timeseries_json_path);
   g_sinks.report_to_stderr = args.GetBool("obs-report", g_sinks.report_to_stderr);
   if (!g_sinks.stats_path.empty() || g_sinks.report_to_stderr) {
     EnableSpans(true);
   }
   if (!g_sinks.trace_path.empty()) EnableTraceCapture(true);
+
+  const bool wants_timeseries = !g_sinks.timeseries_csv_path.empty() ||
+                                !g_sinks.timeseries_json_path.empty();
+  const bool wants_flight = args.Has("flight-sample") ||
+                            args.Has("flight-bucket") ||
+                            args.GetBool("latency-breakdown", false) ||
+                            !g_sinks.fct_path.empty() || wants_timeseries;
+  if (wants_flight) {
+    flight::Config cfg;
+    cfg.sample_rate = args.GetDouble("flight-sample", 0.0);
+    // A time-series sink without an explicit width still needs buckets.
+    cfg.bucket_width =
+        args.GetDouble("flight-bucket", wants_timeseries ? 50.0 : 0.0);
+    cfg.latency_breakdown = args.GetBool("latency-breakdown", false);
+    cfg.fct = !g_sinks.fct_path.empty();
+    flight::Enable(cfg);
+  }
 }
 
 void FlushSinks() {
@@ -150,6 +177,13 @@ void FlushSinks() {
   }
   if (!sinks.trace_path.empty()) WriteChromeTraceFile(sinks.trace_path);
   if (!sinks.stats_path.empty()) WriteStatsJsonFile(sinks.stats_path);
+  if (!sinks.fct_path.empty()) flight::WriteFctCsvFile(sinks.fct_path);
+  if (!sinks.timeseries_csv_path.empty()) {
+    WriteTimeSeriesCsvFile(sinks.timeseries_csv_path);
+  }
+  if (!sinks.timeseries_json_path.empty()) {
+    WriteTimeSeriesJsonFile(sinks.timeseries_json_path);
+  }
   if (sinks.report_to_stderr) {
     ReportTable().Print(std::cerr, "obs: merged instrumentation report");
   }

@@ -4,9 +4,22 @@
 //   --stats-json=FILE   write merged counters/gauges/histograms/timers as
 //                       JSON at exit (enables span timing)
 //   --trace-out=FILE    additionally capture per-span trace events and write
-//                       Chrome trace JSON at exit (obs/trace.h)
+//                       Chrome trace JSON at exit (obs/trace.h) — includes
+//                       flight-recorder packet lanes when sampling is on
 //   --obs-report        print ReportTable() to stderr at exit (stderr so the
 //                       diff-able stdout tables stay byte-identical)
+//
+// Flight-recorder flags (obs/flight.h); any of them enables the recorder:
+//
+//   --flight-sample=R       sample fraction R of packets' full lifecycles
+//   --flight-bucket=W       per-link/in-flight time series, bucket width W
+//                           (defaults to 50 when a time-series sink is
+//                           requested without it)
+//   --latency-breakdown     queueing/serialization decomposition (also read
+//                           directly by bench_f9 / bench_f22 for their table)
+//   --fct-csv=FILE          per-flow completion/rate records -> CSV at exit
+//   --timeseries-csv=FILE   merged time-series buckets -> CSV at exit
+//   --timeseries-json=FILE  merged time-series buckets -> JSON at exit
 //
 // ConfigureSinks parses those flags (common/cli.h); FlushSinks writes
 // whatever was configured. bench/bench_util.h pairs the two automatically

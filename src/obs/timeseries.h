@@ -1,0 +1,95 @@
+// Fixed-width-bucket time series for the flight recorder (obs/flight.h):
+// named integer series over simulated time, sharded per thread and merged in
+// deterministic (registration order x shard creation order) order — the same
+// contract obs/obs.h gives counters and histograms.
+//
+// A series is registered by name with a merge kind and a bucket width (in
+// whatever time unit the recorder uses — the simulators record simulated
+// time). Record(time, value) folds `value` into bucket floor(time / width):
+//   * kSum — bucket accumulates the sum (per-link transmit counts,
+//     utilization numerators);
+//   * kMax — bucket keeps the maximum (queue depths, in-flight packets).
+// Both folds are order-free over exact integers, so the merged buckets are
+// bit-identical at any DCN_THREADS. Values must be non-negative (kMax merges
+// against an implicit 0 for buckets a shard never touched).
+//
+// Edge cases are defined, not accidental: an event exactly on a bucket
+// boundary t == k*width lands in bucket k (half-open buckets
+// [k*width, (k+1)*width)); a run shorter than one bucket produces a single
+// partial bucket; the final bucket of any run is partial unless the horizon
+// divides evenly. Negative times clamp to bucket 0.
+//
+// Unlike Counter/Gauge/Histogram handles, TimeSeries handles are PER RUN:
+// obs::Reset() clears the whole registry (names and data), because series
+// names embed the flight-recorder run id. Never cache a TimeSeries& in a
+// function-local static.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcn::obs {
+
+enum class SeriesKind : std::uint8_t { kSum, kMax };
+
+class TimeSeries {
+ public:
+  // Folds `value` into the bucket containing `time` on the calling thread's
+  // shard. Values must be >= 0; bucket indices clamp to kMaxBucketIndex so a
+  // wild timestamp cannot exhaust memory.
+  void Record(double time, std::int64_t value);
+
+  static constexpr std::size_t kMaxBucketIndex = (1u << 22) - 1;
+
+ private:
+  friend TimeSeries& GetTimeSeries(std::string_view name, SeriesKind kind,
+                                   double bucket_width);
+  TimeSeries(std::size_t id, SeriesKind kind, double bucket_width)
+      : id_(id), kind_(kind), bucket_width_(bucket_width) {}
+  std::size_t id_;
+  SeriesKind kind_;
+  double bucket_width_;
+};
+
+// Registers (or finds) the series named `name`. Re-registration must agree
+// on kind and bucket width; a mismatch throws InvalidArgument. bucket_width
+// must be positive.
+TimeSeries& GetTimeSeries(std::string_view name, SeriesKind kind,
+                          double bucket_width);
+
+struct TimeSeriesRow {
+  std::string name;
+  SeriesKind kind = SeriesKind::kSum;
+  double bucket_width = 0.0;
+  // Merged buckets, index 0 = [0, width). Trailing buckets a shard never
+  // touched are absent; untouched interior buckets read 0.
+  std::vector<std::int64_t> buckets;
+};
+
+// Merged view of every registered series, in registration order. Call
+// outside parallel regions (the pool's region-completion sync is the
+// happens-before edge for shard writes, as with obs::TakeSnapshot).
+std::vector<TimeSeriesRow> TakeTimeSeriesSnapshot();
+
+// Long-format CSV: series,kind,bucket_width,bucket,t_start,value — one row
+// per (series, bucket), series in registration order. Series with no data
+// are skipped.
+void WriteTimeSeriesCsv(std::ostream& out,
+                        const std::vector<TimeSeriesRow>& rows);
+void WriteTimeSeriesCsvFile(const std::string& path);
+
+// JSON: {"series": [{"name", "kind", "bucket_width", "buckets": [...]}]}.
+void WriteTimeSeriesJson(std::ostream& out,
+                         const std::vector<TimeSeriesRow>& rows);
+void WriteTimeSeriesJsonFile(const std::string& path);
+
+namespace detail {
+// Clears the whole registry — names, handles, and shard data. Called by
+// obs::Reset(); outstanding TimeSeries handles become invalid.
+void ResetTimeSeriesRegistry();
+}  // namespace detail
+
+}  // namespace dcn::obs

@@ -1,4 +1,5 @@
-// Chrome trace-event JSON export for the spans captured by obs/obs.h.
+// Chrome trace-event JSON export for the spans captured by obs/obs.h and the
+// packet lifecycles captured by obs/flight.h.
 //
 // The emitted document is the trace-event "JSON array format": a top-level
 // array holding one `ph:"M"` thread_name metadata event per thread lane
@@ -7,11 +8,23 @@
 // in chrome://tracing or https://ui.perfetto.dev; pool workers appear as
 // their own lanes ("pool-worker-N"), so region/chunk spans visualize pool
 // occupancy directly. scripts/validate_trace.py asserts this schema.
+//
+// Flight-recorder runs, when present, add one process per run (pid = 100 +
+// run id, named by a `process_name` metadata event) whose thread lanes are
+// the directed links a sampled packet touched. Each sampled hop becomes a
+// `cat:"flight"` X event (ts = enqueue, dur = time on the link, args =
+// {packet, source, hop, wait, service, measured[, dropped]}); each sampled
+// packet additionally gets one flow-start (`ph:"s"`) at its first enqueue
+// and one flow-finish (`ph:"f"`, bp:"e") at delivery or drop, with a
+// matching id, so the packet's path renders as arrows across link lanes.
+// Flight timestamps are simulated time written as microseconds.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "obs/flight.h"
 #include "obs/obs.h"
 
 namespace dcn::obs {
@@ -20,8 +33,13 @@ namespace dcn::obs {
 // even when capture was never enabled.
 void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot);
 
-// TakeSnapshot() + WriteChromeTrace to `path`; throws InvalidArgument when
-// the file cannot be written. Call outside parallel regions.
+// As above, plus the flight-recorder runs' sampled-packet events.
+void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot,
+                      const std::vector<flight::RunSnapshot>& runs);
+
+// TakeSnapshot() + flight::TakeRunsSnapshot() + WriteChromeTrace to `path`;
+// throws InvalidArgument when the file cannot be written. Call outside
+// parallel regions and outside any active flight run.
 void WriteChromeTraceFile(const std::string& path);
 
 }  // namespace dcn::obs

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <deque>
 #include <queue>
+#include <string>
 #include <unordered_map>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "graph/csr.h"
+#include "obs/flight.h"
+#include "obs/obs.h"
 #include "routing/route.h"
 
 namespace dcn::sim {
+
+namespace flight = obs::flight;
 
 namespace {
 
@@ -24,6 +29,9 @@ struct Copy {
   std::uint64_t first_link = 0;   // parent -> via
   std::uint64_t second_link = 0;  // via -> child
   std::uint8_t hop = 0;           // 0 or 1
+  // Flight-recorder record index; sampling is per copy (pool index), with
+  // the message id carried as the record's source field.
+  std::uint32_t rec = flight::Recorder::kNotSampled;
 };
 
 struct MessageState {
@@ -104,6 +112,22 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
   Rng rng{config.seed};
   BroadcastSimResult result;
 
+  // Flight recorder: observes copies (the unit that queues on links), never
+  // draws from `rng` — byte-identical results with the recorder on or off.
+  flight::RunScope flight_run{
+      "broadcast", config.duration, graph.EdgeCount() * 2,
+      [&csr](std::uint64_t link) {
+        const auto [u, v] = csr.Endpoints(static_cast<graph::EdgeId>(link / 2));
+        return link % 2 == 0 ? std::to_string(u) + "->" + std::to_string(v)
+                             : std::to_string(v) + "->" + std::to_string(u);
+      }};
+  flight::Recorder* const fr = flight_run.recorder();
+  const bool fr_sample = fr != nullptr && fr->SamplingOn();
+  const bool fr_ts = fr != nullptr && fr->TimeSeriesOn();
+  std::int64_t fr_in_flight = 0;
+  std::uint64_t obs_deliveries = 0;
+  std::uint64_t obs_drops = 0;
+
   auto schedule = [&](double time, EventKind kind, std::uint64_t payload) {
     events.push(Event{time, kind, payload, seq++});
   };
@@ -115,12 +139,18 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
       message.dropped_any = true;
       --message.outstanding;
       if (message.measured) ++result.copies_dropped;
+      ++obs_drops;
+      if (fr_sample) fr->PacketDropped(pool[copy_id].rec, link, now);
+      if (fr_ts) fr->InFlight(now, --fr_in_flight);
       return;
     }
     q.copies.push_back(copy_id);
     result.max_queue_depth =
         std::max(result.max_queue_depth, static_cast<int>(q.copies.size()));
-    if (q.copies.size() == 1) {
+    const bool service_now = q.copies.size() == 1;
+    if (fr_ts) fr->LinkQueueDepth(link, now, static_cast<int>(q.copies.size()));
+    if (fr_sample) fr->HopEnqueue(pool[copy_id].rec, link, now, service_now);
+    if (service_now) {
       schedule(now + kServiceTime, EventKind::kDepart, link);
     }
   };
@@ -131,8 +161,14 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
     if (it == children.end()) return;
     for (const ChildSegment& segment : it->second) {
       const auto copy_id = static_cast<std::uint32_t>(pool.size());
-      pool.push_back(Copy{message_id, segment.child, segment.first_link,
-                          segment.second_link, 0});
+      Copy copy{message_id, segment.child, segment.first_link,
+                segment.second_link, 0};
+      if (fr_sample) {
+        copy.rec = fr->PacketBorn(copy_id, message_id, now,
+                                  messages[message_id].measured);
+      }
+      pool.push_back(copy);
+      if (fr_ts) fr->InFlight(now, ++fr_in_flight);
       enqueue(copy_id, segment.first_link, now);
     }
   };
@@ -163,8 +199,11 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
     const std::uint32_t copy_id = q.copies.front();
     q.copies.pop_front();
     ++q.transmitted;
+    if (fr_ts) fr->LinkTransmit(event.payload, now);
+    if (fr_sample) fr->HopDepart(pool[copy_id].rec, now);
     if (!q.copies.empty()) {
       schedule(now + kServiceTime, EventKind::kDepart, event.payload);
+      if (fr_sample) fr->HopServiceStart(pool[q.copies.front()].rec, now);
     }
 
     Copy& copy = pool[copy_id];
@@ -174,6 +213,9 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
       continue;
     }
     // Delivered to copy.child.
+    ++obs_deliveries;
+    if (fr_sample) fr->PacketDelivered(copy.rec, now);
+    if (fr_ts) fr->InFlight(now, --fr_in_flight);
     MessageState& message = messages[copy.message];
     --message.outstanding;
     message.last_delivery = now;
@@ -194,6 +236,17 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
                                     config.duration);
   }
   result.max_link_utilization = busiest;
+
+  // Exact counts determined by (graph, tree, config): the merged obs readout
+  // is as reproducible as the simulation.
+  static obs::Counter& c_runs = obs::GetCounter("broadcast/runs");
+  static obs::Counter& c_messages = obs::GetCounter("broadcast/messages");
+  static obs::Counter& c_deliveries = obs::GetCounter("broadcast/deliveries");
+  static obs::Counter& c_drops = obs::GetCounter("broadcast/copies_dropped");
+  c_runs.Add(1);
+  c_messages.Add(result.messages);
+  c_deliveries.Add(obs_deliveries);
+  c_drops.Add(obs_drops);
   return result;
 }
 

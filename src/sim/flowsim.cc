@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
 
 namespace dcn::sim {
@@ -21,6 +22,9 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
   }
 
   OBS_SPAN("flowsim/maxmin");
+  // Per-thread run nesting means calls made from inside fluid's draining
+  // loop (which holds its own RunScope) record nothing here.
+  obs::flight::RunScope flight_run{"flowsim", /*duration=*/0.0};
   FlowSimResult result;
   result.rates.assign(routes.size(), 0.0);
 
@@ -135,6 +139,13 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
       (counted > 0 && sum_squares > 0)
           ? (sum * sum) / (static_cast<double>(counted) * sum_squares)
           : 0.0;
+  if (obs::flight::Recorder* fr = flight_run.recorder();
+      fr != nullptr && fr->FctOn()) {
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      fr->Flow(obs::flight::FlowKind::kRate, static_cast<std::uint32_t>(f),
+               /*bytes=*/0.0, result.rates[f]);
+    }
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
 #include "sim/flowsim.h"
 
@@ -19,6 +20,10 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
   }
 
   OBS_SPAN("fluid/run");
+  // Opening the run here (before the draining loop) also suppresses the
+  // inner MaxMinFairRates calls' own RunScopes — only fluid's per-flow
+  // completion times are recorded, not every recomputation's rates.
+  obs::flight::RunScope flight_run{"fluid", /*duration=*/0.0};
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
   FluidResult result;
   result.finish_time.assign(routes.size(), kInfinity);
@@ -74,6 +79,13 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
     }
   }
   c_recomputations.Add(static_cast<std::uint64_t>(result.rate_recomputations));
+  if (obs::flight::Recorder* fr = flight_run.recorder();
+      fr != nullptr && fr->FctOn()) {
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      fr->Flow(obs::flight::FlowKind::kFct, static_cast<std::uint32_t>(f),
+               bytes[f], result.finish_time[f]);
+    }
+  }
   return result;
 }
 

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <deque>
 #include <queue>
+#include <string>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
 
 namespace dcn::sim {
+
+namespace flight = obs::flight;
 
 namespace {
 
@@ -18,6 +22,10 @@ struct Packet {
   std::uint32_t route = 0;
   std::uint32_t hop = 0;  // index into the route's directed-link sequence
   double born = 0.0;
+  // Flight-recorder record index; kNotSampled (the overwhelmingly common
+  // case) when this packet's lifecycle is not being captured. Lives in what
+  // was padding, so the pool's layout is unchanged.
+  std::uint32_t rec = flight::Recorder::kNotSampled;
   bool measured = false;
 };
 
@@ -75,6 +83,10 @@ class RingLinkStore {
 
   int Size(std::size_t link) const { return static_cast<int>(size_[link]); }
   bool Empty(std::size_t link) const { return size_[link] == 0; }
+  // Packet at the queue head (in service). Link must be non-empty.
+  std::uint32_t Front(std::size_t link) const {
+    return slots_[link * capacity_ + head_[link]];
+  }
   std::uint64_t Transmitted(std::size_t link) const {
     return transmitted_[link];
   }
@@ -110,6 +122,9 @@ class DequeLinkStore {
     return static_cast<int>(links_[link].packets.size());
   }
   bool Empty(std::size_t link) const { return links_[link].packets.empty(); }
+  std::uint32_t Front(std::size_t link) const {
+    return links_[link].packets.front();
+  }
   std::uint64_t Transmitted(std::size_t link) const {
     return links_[link].transmitted;
   }
@@ -182,6 +197,22 @@ PacketSimResult RunPacketSimMultipathImpl(
   Rng rng{config.seed};
   PacketSimResult result;
 
+  // Flight recorder (obs/flight.h): purely observational. Sampling decisions
+  // come from an RNG stream forked off the recorder's own salt — never from
+  // `rng` — so results below are byte-identical with the recorder on or off.
+  flight::RunScope flight_run{
+      "packetsim", config.duration, link_count,
+      [&csr](std::uint64_t link) {
+        const auto [u, v] = csr.Endpoints(static_cast<graph::EdgeId>(link / 2));
+        return link % 2 == 0 ? std::to_string(u) + "->" + std::to_string(v)
+                             : std::to_string(v) + "->" + std::to_string(u);
+      }};
+  flight::Recorder* const fr = flight_run.recorder();
+  const bool fr_sample = fr != nullptr && fr->SamplingOn();
+  const bool fr_ts = fr != nullptr && fr->TimeSeriesOn();
+  const bool fr_bd = fr != nullptr && fr->BreakdownOn();
+  std::int64_t fr_in_flight = 0;
+
   auto schedule = [&](double time, EventKind kind, std::uint64_t payload) {
     events.Push(Event{time, kind, payload, seq++});
   };
@@ -199,12 +230,17 @@ PacketSimResult RunPacketSimMultipathImpl(
   auto enqueue = [&](std::uint32_t packet, std::uint64_t link, double now) {
     if (links.Size(link) >= config.queue_capacity) {
       if (pool[packet].measured) ++result.dropped;
+      if (fr_sample) fr->PacketDropped(pool[packet].rec, link, now);
+      if (fr_ts) fr->InFlight(now, --fr_in_flight);
       return;
     }
     links.Push(link, packet);
     ++obs_queue_depth[static_cast<std::size_t>(links.Size(link))];
     result.max_queue_depth = std::max(result.max_queue_depth, links.Size(link));
-    if (links.Size(link) == 1) {
+    const bool service_now = links.Size(link) == 1;
+    if (fr_ts) fr->LinkQueueDepth(link, now, links.Size(link));
+    if (fr_sample) fr->HopEnqueue(pool[packet].rec, link, now, service_now);
+    if (service_now) {
       schedule(now + kServiceTime, EventKind::kDepart, link);
     }
   };
@@ -238,9 +274,18 @@ PacketSimResult RunPacketSimMultipathImpl(
         }
         const auto r = static_cast<std::uint32_t>(offset[source] + pick);
         const auto id = static_cast<std::uint32_t>(pool.size());
-        pool.push_back(Packet{r, 0, now, now >= config.warmup});
+        Packet packet;
+        packet.route = r;
+        packet.born = now;
+        packet.measured = now >= config.warmup;
+        if (fr_sample) {
+          packet.rec = fr->PacketBorn(id, static_cast<std::uint32_t>(source),
+                                      now, packet.measured);
+        }
+        pool.push_back(packet);
         ++result.generated;
-        if (pool.back().measured) ++result.measured;
+        if (packet.measured) ++result.measured;
+        if (fr_ts) fr->InFlight(now, ++fr_in_flight);
         enqueue(id, route_links[r][0], now);
         schedule(now + rng.NextExponential(config.offered_load),
                  EventKind::kGenerate, source);
@@ -251,8 +296,11 @@ PacketSimResult RunPacketSimMultipathImpl(
     // kDepart: the head of this link's queue finished transmission.
     DCN_ASSERT(!links.Empty(event.payload));
     const std::uint32_t id = links.PopFront(event.payload);
+    if (fr_ts) fr->LinkTransmit(event.payload, now);
+    if (fr_sample) fr->HopDepart(pool[id].rec, now);
     if (!links.Empty(event.payload)) {
       schedule(now + kServiceTime, EventKind::kDepart, event.payload);
+      if (fr_sample) fr->HopServiceStart(pool[links.Front(event.payload)].rec, now);
     }
 
     Packet& packet = pool[id];
@@ -261,8 +309,12 @@ PacketSimResult RunPacketSimMultipathImpl(
       ++obs_hops[packet.hop];
       if (packet.measured) {
         ++result.delivered;
-        result.latency.Add(now - packet.born);
+        const double latency = now - packet.born;
+        result.latency.Add(latency);
+        if (fr_bd) fr->Delivery(latency, static_cast<int>(packet.hop));
       }
+      if (fr_sample) fr->PacketDelivered(packet.rec, now);
+      if (fr_ts) fr->InFlight(now, --fr_in_flight);
     } else {
       enqueue(id, route_links[packet.route][packet.hop], now);
     }
@@ -284,6 +336,7 @@ PacketSimResult RunPacketSimMultipathImpl(
       busy_links == 0 ? 0.0 : total / static_cast<double>(busy_links);
 
   DCN_ASSERT(result.delivered + result.dropped <= result.measured);
+  if (fr_bd) result.breakdown = fr->Breakdown();
 
   // Flush the locally accumulated statistics. Every value is an exact count
   // determined by (graph, routes, config), so merged obs readouts are as

@@ -13,6 +13,7 @@
 
 #include "common/stats.h"
 #include "graph/graph.h"
+#include "obs/flight.h"
 #include "routing/route.h"
 
 namespace dcn::sim {
@@ -41,6 +42,10 @@ struct PacketSimResult {
   double mean_link_utilization = 0.0;
   // Deepest any output queue ever got (including the packet in service).
   int max_queue_depth = 0;
+  // Queueing vs serialization decomposition over every delivered measured
+  // packet. Populated only when the flight recorder's latency breakdown is
+  // on (obs/flight.h, --latency-breakdown); enabled == false otherwise.
+  obs::flight::LatencyBreakdown breakdown;
   double DeliveredFraction() const {
     return measured == 0 ? 0.0
                          : static_cast<double>(delivered) / static_cast<double>(measured);

@@ -1,0 +1,173 @@
+// obs/timeseries.h: fixed-width bucketization edge cases (boundary events,
+// runs shorter than one bucket, final partial buckets, negative-time clamp)
+// and the determinism contract — merged buckets bit-identical at any thread
+// count, in registration order.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "obs/obs.h"
+
+namespace dcn::obs {
+namespace {
+
+// Reset() clears the whole time-series registry (names and data), so every
+// test starts from an empty one. Handles must be re-acquired per test.
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override {
+    Reset();
+    SetThreadCount(0);
+  }
+};
+
+const TimeSeriesRow& RowNamed(const std::vector<TimeSeriesRow>& rows,
+                              const std::string& name) {
+  for (const TimeSeriesRow& row : rows) {
+    if (row.name == name) return row;
+  }
+  ADD_FAILURE() << "no series named " << name;
+  static const TimeSeriesRow kEmpty;
+  return kEmpty;
+}
+
+TEST_F(TimeSeriesTest, BoundaryEventLandsInTheUpperBucket) {
+  TimeSeries& series = GetTimeSeries("ts/boundary", SeriesKind::kSum, 10.0);
+  series.Record(0.0, 1);    // bucket 0: [0, 10)
+  series.Record(9.999, 2);  // still bucket 0
+  series.Record(10.0, 4);   // exactly on the boundary -> bucket 1
+  series.Record(19.999, 8);
+  const TimeSeriesRow row =
+      RowNamed(TakeTimeSeriesSnapshot(), "ts/boundary");
+  ASSERT_EQ(row.buckets.size(), 2u);
+  EXPECT_EQ(row.buckets[0], 3);
+  EXPECT_EQ(row.buckets[1], 12);
+}
+
+TEST_F(TimeSeriesTest, RunShorterThanOneBucketYieldsOnePartialBucket) {
+  TimeSeries& series = GetTimeSeries("ts/short", SeriesKind::kSum, 100.0);
+  series.Record(1.0, 1);
+  series.Record(42.5, 1);
+  series.Record(99.0, 1);
+  const TimeSeriesRow row = RowNamed(TakeTimeSeriesSnapshot(), "ts/short");
+  ASSERT_EQ(row.buckets.size(), 1u);
+  EXPECT_EQ(row.buckets[0], 3);
+}
+
+TEST_F(TimeSeriesTest, FinalPartialBucketIsKeptAndInteriorGapsReadZero) {
+  TimeSeries& series = GetTimeSeries("ts/partial", SeriesKind::kSum, 10.0);
+  series.Record(5.0, 7);
+  series.Record(25.0, 9);  // horizon 25: final bucket [20, 30) is partial
+  const TimeSeriesRow row = RowNamed(TakeTimeSeriesSnapshot(), "ts/partial");
+  ASSERT_EQ(row.buckets.size(), 3u);
+  EXPECT_EQ(row.buckets[0], 7);
+  EXPECT_EQ(row.buckets[1], 0);  // untouched interior bucket
+  EXPECT_EQ(row.buckets[2], 9);
+}
+
+TEST_F(TimeSeriesTest, NegativeTimeClampsToBucketZero) {
+  TimeSeries& series = GetTimeSeries("ts/neg", SeriesKind::kSum, 10.0);
+  series.Record(-3.0, 5);
+  const TimeSeriesRow row = RowNamed(TakeTimeSeriesSnapshot(), "ts/neg");
+  ASSERT_EQ(row.buckets.size(), 1u);
+  EXPECT_EQ(row.buckets[0], 5);
+}
+
+TEST_F(TimeSeriesTest, MaxSeriesKeepsTheBucketMaximum) {
+  TimeSeries& series = GetTimeSeries("ts/max", SeriesKind::kMax, 10.0);
+  series.Record(1.0, 3);
+  series.Record(2.0, 9);
+  series.Record(3.0, 4);
+  series.Record(11.0, 2);
+  const TimeSeriesRow row = RowNamed(TakeTimeSeriesSnapshot(), "ts/max");
+  ASSERT_EQ(row.buckets.size(), 2u);
+  EXPECT_EQ(row.buckets[0], 9);
+  EXPECT_EQ(row.buckets[1], 2);
+}
+
+TEST_F(TimeSeriesTest, ReRegistrationMustMatchKindAndWidth) {
+  GetTimeSeries("ts/re", SeriesKind::kSum, 10.0);
+  EXPECT_NO_THROW(GetTimeSeries("ts/re", SeriesKind::kSum, 10.0));
+  EXPECT_THROW(GetTimeSeries("ts/re", SeriesKind::kMax, 10.0),
+               InvalidArgument);
+  EXPECT_THROW(GetTimeSeries("ts/re", SeriesKind::kSum, 20.0),
+               InvalidArgument);
+  EXPECT_THROW(GetTimeSeries("ts/bad", SeriesKind::kSum, 0.0),
+               InvalidArgument);
+}
+
+TEST_F(TimeSeriesTest, SnapshotIsInRegistrationOrder) {
+  GetTimeSeries("ts/z_first", SeriesKind::kSum, 1.0).Record(0.0, 1);
+  GetTimeSeries("ts/a_second", SeriesKind::kSum, 1.0).Record(0.0, 1);
+  const std::vector<TimeSeriesRow> rows = TakeTimeSeriesSnapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "ts/z_first");
+  EXPECT_EQ(rows[1].name, "ts/a_second");
+}
+
+TEST_F(TimeSeriesTest, MergedBucketsAreThreadCountInvariant) {
+  std::vector<std::int64_t> sum_at_1;
+  std::vector<std::int64_t> max_at_1;
+  for (const int threads : {1, 3, 7}) {
+    SetThreadCount(threads);
+    Reset();
+    TimeSeries& sums = GetTimeSeries("ts/psum", SeriesKind::kSum, 10.0);
+    TimeSeries& maxes = GetTimeSeries("ts/pmax", SeriesKind::kMax, 10.0);
+    ParallelFor(500, 7, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double t = static_cast<double>(i) * 0.5;
+        sums.Record(t, static_cast<std::int64_t>(i % 5));
+        maxes.Record(t, static_cast<std::int64_t>(i % 17));
+      }
+    });
+    const std::vector<TimeSeriesRow> rows = TakeTimeSeriesSnapshot();
+    const TimeSeriesRow& sum_row = RowNamed(rows, "ts/psum");
+    const TimeSeriesRow& max_row = RowNamed(rows, "ts/pmax");
+    ASSERT_EQ(sum_row.buckets.size(), 25u) << "threads=" << threads;
+    if (threads == 1) {
+      sum_at_1 = sum_row.buckets;
+      max_at_1 = max_row.buckets;
+      continue;
+    }
+    EXPECT_EQ(sum_row.buckets, sum_at_1) << "threads=" << threads;
+    EXPECT_EQ(max_row.buckets, max_at_1) << "threads=" << threads;
+  }
+}
+
+TEST_F(TimeSeriesTest, ResetClearsNamesAndData) {
+  GetTimeSeries("ts/cleared", SeriesKind::kSum, 1.0).Record(0.0, 1);
+  Reset();
+  EXPECT_TRUE(TakeTimeSeriesSnapshot().empty());
+  // The name is registrable again with a different shape after Reset.
+  EXPECT_NO_THROW(GetTimeSeries("ts/cleared", SeriesKind::kMax, 2.0));
+}
+
+TEST_F(TimeSeriesTest, CsvAndJsonExports) {
+  GetTimeSeries("ts/csv", SeriesKind::kSum, 10.0).Record(15.0, 4);
+  GetTimeSeries("ts/empty", SeriesKind::kSum, 10.0);  // no data: skipped
+  const std::vector<TimeSeriesRow> rows = TakeTimeSeriesSnapshot();
+
+  std::ostringstream csv;
+  WriteTimeSeriesCsv(csv, rows);
+  EXPECT_EQ(csv.str(),
+            "series,kind,bucket_width,bucket,t_start,value\n"
+            "ts/csv,sum,10,0,0,0\n"
+            "ts/csv,sum,10,1,10,4\n");
+
+  std::ostringstream json;
+  WriteTimeSeriesJson(json, rows);
+  EXPECT_NE(json.str().find("\"name\": \"ts/csv\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"buckets\": [0, 4]"), std::string::npos);
+  EXPECT_EQ(json.str().find("ts/empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcn::obs
