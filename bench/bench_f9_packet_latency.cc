@@ -24,6 +24,17 @@ int main(int argc, char** argv) {
   // second table decomposing delivered-packet latency into serialization
   // (hops x service time) and queueing; the main table stays byte-identical.
   const bool breakdown = env.Args().GetBool("latency-breakdown", false);
+  // --dense-loads sweeps 10x the load points (50 instead of 5) to resolve
+  // the knee precisely — affordable now that the sharded simulator spreads
+  // the event loop across DCN_THREADS (see DESIGN.md "Sharded packet
+  // simulator"; every row is byte-identical at any thread count).
+  const bool dense = env.Args().GetBool("dense-loads", false);
+  std::vector<double> loads;
+  if (dense) {
+    for (int i = 1; i <= 50; ++i) loads.push_back(0.016 * i);  // 0.016..0.80
+  } else {
+    loads = {0.05, 0.2, 0.4, 0.6, 0.8};
+  }
   Table table{{"topology", "servers", "load", "delivered", "mean-lat", "p50",
                "p99"}};
   Table bd_table{{"topology", "load", "delivered", "hops-mean", "serial-mean",
@@ -33,7 +44,7 @@ int main(int argc, char** argv) {
     Rng traffic_rng = rng.Fork();
     const std::vector<sim::Flow> flows = sim::PermutationTraffic(*net, traffic_rng);
     const std::vector<routing::Route> routes = bench::NativeRoutes(*net, flows);
-    for (double load : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+    for (double load : loads) {
       sim::PacketSimConfig config;
       config.offered_load = load;
       config.duration = 1500;

@@ -9,10 +9,14 @@ recorded BENCH_core.json run —
 Two operations, combinable in one invocation (check runs first):
 
   --append   extract the "micro" kernels from --input and append one history
-             entry.
+             entry (including the kernels' obs_* side channels, e.g.
+             packetsim's obs_events_per_op).
   --check    compare --input against the most recent history entry; kernels
-             more than --threshold (default 0.10 = 10%) slower are flagged.
-             Exits 1 on any flag unless --warn-only (numbers are
+             more than --threshold (default 0.10 = 10%) slower are flagged,
+             and any change at all in a kernel's obs_events_per_op is flagged
+             — event counts are deterministic and machine-independent, so
+             drift there means the algorithm changed, not the hardware.
+             Exits 1 on any flag unless --warn-only (timing numbers are
              machine-relative, so CI uses --warn-only; a developer chasing a
              regression on one machine runs it strict).
 
@@ -34,22 +38,27 @@ import sys
 
 
 def load_kernels(path):
-    """name -> ns_per_op from a BENCH_core.json-shaped document."""
+    """(name -> ns_per_op, name -> {obs_* fields}) from BENCH_core.json."""
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     micro = document.get("micro")
     if not isinstance(micro, list):
         raise ValueError(f"{path}: no 'micro' array")
     kernels = {}
+    observed = {}
     for row in micro:
         name = row.get("name")
         ns = row.get("ns_per_op")
         if not isinstance(name, str) or not isinstance(ns, (int, float)):
             raise ValueError(f"{path}: malformed micro row {row!r}")
         kernels[name] = ns
+        obs = {key: value for key, value in row.items()
+               if key.startswith("obs_") and isinstance(value, (int, float))}
+        if obs:
+            observed[name] = obs
     if not kernels:
         raise ValueError(f"{path}: 'micro' array is empty")
-    return kernels
+    return kernels, observed
 
 
 def read_history(path):
@@ -68,12 +77,13 @@ def read_history(path):
     return entries
 
 
-def check(kernels, history, threshold):
+def check(kernels, observed, history, threshold):
     """Returns a list of regression strings vs the last history entry."""
     if not history:
         return None  # nothing to compare against — not a failure
     reference = history[-1]
     ref_kernels = reference.get("kernels", {})
+    ref_observed = reference.get("obs", {})  # absent in pre-obs entries
     flagged = []
     for name, ns in sorted(kernels.items()):
         ref = ref_kernels.get(name)
@@ -84,6 +94,20 @@ def check(kernels, history, threshold):
             flagged.append(
                 f"{name}: {ns:.0f} ns/op is {ratio:.2f}x the last recorded "
                 f"run ({ref:.0f} ns/op, label {reference.get('label')!r})"
+            )
+        # Event counts are exact and machine-independent: any drift means the
+        # kernel does different WORK than the recorded run, which a timing
+        # threshold tuned for hardware noise would hide.
+        got_events = observed.get(name, {}).get("obs_events_per_op")
+        ref_events = ref_observed.get(name, {}).get("obs_events_per_op")
+        if (isinstance(got_events, (int, float))
+                and isinstance(ref_events, (int, float))
+                and got_events != ref_events):
+            flagged.append(
+                f"{name}: obs_events_per_op drifted to {got_events:.0f} from "
+                f"the recorded {ref_events:.0f} (label "
+                f"{reference.get('label')!r}) — event counts are "
+                "deterministic, so this is an algorithm change, not noise"
             )
     for name in sorted(set(ref_kernels) - set(kernels)):
         flagged.append(f"{name}: present in history but missing from this run")
@@ -108,7 +132,7 @@ def main():
         parser.error("nothing to do: pass --append and/or --check")
 
     try:
-        kernels = load_kernels(args.input)
+        kernels, observed = load_kernels(args.input)
         history = read_history(args.history)
     except (OSError, ValueError) as error:
         print(f"bench_history: {error}", file=sys.stderr)
@@ -116,7 +140,7 @@ def main():
 
     status = 0
     if args.check:
-        flagged = check(kernels, history, args.threshold)
+        flagged = check(kernels, observed, history, args.threshold)
         if flagged is None:
             print(f"bench_history: {args.history} is empty — nothing to "
                   "compare against")
@@ -136,6 +160,8 @@ def main():
             .strftime("%Y-%m-%dT%H:%M:%SZ"),
             "kernels": kernels,
         }
+        if observed:
+            entry["obs"] = observed
         os.makedirs(os.path.dirname(args.history) or ".", exist_ok=True)
         with open(args.history, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")

@@ -193,6 +193,68 @@ void ConfigureThreads(const CliArgs& args) {
 
 bool InParallelRegion() { return tl_in_parallel; }
 
+SpinBarrier::SpinBarrier(int parties) : parties_(parties) {
+  DCN_REQUIRE(parties >= 1, "SpinBarrier needs at least one party");
+}
+
+void SpinBarrier::Arrive() {
+  if (aborted_.load(std::memory_order_acquire)) {
+    throw FailedPrecondition{"SpinBarrier aborted: a team member failed"};
+  }
+  if (parties_ == 1) return;
+  const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+  // The RMW chain on `arrived_` (acq_rel) makes the last arriver see every
+  // earlier member's writes; everyone else synchronizes through the release
+  // store / acquire load of `phase_`.
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    phase_.fetch_add(1, std::memory_order_release);
+  } else {
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      // Brief spin for the all-cores-free case, then yield so oversubscribed
+      // teams (TSan, 1-core CI) make progress instead of burning the quantum.
+      if (++spins > 128) std::this_thread::yield();
+    }
+  }
+  if (aborted_.load(std::memory_order_acquire)) {
+    throw FailedPrecondition{"SpinBarrier aborted: a team member failed"};
+  }
+}
+
+void SpinBarrier::Abort() {
+  aborted_.store(true, std::memory_order_release);
+  // Advance the phase so members blocked in the spin loop wake up and observe
+  // the abort flag. Racing with a normal phase advance is harmless: spinners
+  // only compare against their captured phase value.
+  phase_.fetch_add(1, std::memory_order_release);
+}
+
+int TeamSize() {
+  if (tl_in_parallel) return 1;
+  return std::max(1, ThreadCount());
+}
+
+void RunTeam(int team, const std::function<void(int, SpinBarrier&)>& body) {
+  DCN_REQUIRE(team >= 1, "RunTeam needs at least one member");
+  DCN_REQUIRE(team == 1 || (!tl_in_parallel && team <= ThreadCount()),
+              "RunTeam team size must come from TeamSize(): every member "
+              "needs a dedicated thread or the barrier deadlocks");
+  SpinBarrier barrier{team};
+  // One chunk per member over the pool: with num_chunks == ThreadCount()-ish
+  // executors, each executor claims exactly one chunk (it cannot claim a
+  // second while blocked at a barrier inside the first), so every member has
+  // its own thread. A team of 1 takes RunChunks' serial inline path.
+  detail::RunChunks(static_cast<std::size_t>(team), [&](std::size_t member) {
+    try {
+      body(static_cast<int>(member), barrier);
+    } catch (...) {
+      barrier.Abort();
+      throw;
+    }
+  });
+}
+
 namespace detail {
 
 void RunChunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn) {

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <type_traits>
@@ -56,6 +58,51 @@ namespace detail {
 // num_chunks <= 1, or the caller is already inside a parallel region.
 void RunChunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn);
 }  // namespace detail
+
+// Sense-reversing barrier for SPMD teams (see RunTeam). Spin-then-yield so it
+// stays live when the team is oversubscribed (more members than cores — the
+// normal case under TSan and on small CI machines). `Arrive` provides
+// release/acquire ordering: writes made by any member before its Arrive are
+// visible to every member after the matching Arrive returns.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties);
+
+  // Blocks until all `parties` members have arrived at this phase. Throws
+  // FailedPrecondition if the barrier was aborted (and keeps throwing on
+  // every later call, so an abort tears the whole team down).
+  void Arrive();
+
+  // Marks the barrier aborted and releases members blocked in Arrive. Called
+  // by a member whose body threw, so the survivors cannot deadlock waiting
+  // for it; they observe the abort at their next Arrive and unwind too.
+  void Abort();
+
+  int Parties() const { return parties_; }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<bool> aborted_{false};
+};
+
+// Size of the team RunTeam would launch right now: ThreadCount(), or 1 when
+// already inside a parallel region (nested teams run inline, like nested
+// ParallelFor). Call this once, build per-member state, then pass the same
+// value to RunTeam.
+int TeamSize();
+
+// SPMD region: runs body(member, barrier) for member = 0..team-1, each member
+// on its own thread, sharing one SpinBarrier so members can synchronize in
+// lockstep phases. This differs from ParallelFor chunks, which must be
+// independent; team members may communicate through barrier-separated shared
+// state. `team` must equal a value TeamSize() returned with the thread
+// configuration unchanged since (each member needs a dedicated thread or the
+// barrier deadlocks). A team of 1 runs inline; a member that throws aborts
+// the barrier so the rest of the team unwinds, and the first exception is
+// rethrown on the calling thread.
+void RunTeam(int team, const std::function<void(int, SpinBarrier&)>& body);
 
 // Number of fixed chunks covering [0, n) at the given chunk size.
 inline std::size_t ChunkCount(std::size_t n, std::size_t chunk) {

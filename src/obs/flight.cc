@@ -113,12 +113,13 @@ obs::TimeSeries& Recorder::Series(std::vector<obs::TimeSeries*>& cache,
   return *series;
 }
 
+bool Recorder::WouldSample(std::uint64_t packet) const {
+  return sampling_ && sample_base_.Fork(packet).NextDouble() < config_.sample_rate;
+}
+
 std::uint32_t Recorder::PacketBorn(std::uint64_t packet, std::uint32_t source,
                                    double now, bool measured) {
-  if (!sampling_) return kNotSampled;
-  if (!(sample_base_.Fork(packet).NextDouble() < config_.sample_rate)) {
-    return kNotSampled;
-  }
+  if (!WouldSample(packet)) return kNotSampled;
   if (records_.size() >= config_.max_sampled_per_run) {
     ++sampling_skipped_;
     return kNotSampled;

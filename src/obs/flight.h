@@ -141,6 +141,14 @@ class Recorder {
   bool FctOn() const { return fct_; }
 
   // --- sampled lifecycles -------------------------------------------------
+  // Pure sampling predicate: would PacketBorn(packet, ...) sample this
+  // packet, ignoring the per-run record cap? Const and thread-safe (the
+  // decision is a pure function of the run's base stream and `packet`), so a
+  // parallel simulator can pre-filter which packets need buffered flight ops
+  // before replaying them through the single-threaded mutating calls below.
+  // The cap is still applied by PacketBorn at replay time.
+  bool WouldSample(std::uint64_t packet) const;
+
   // Returns an index for the Hop*/Packet* calls, or kNotSampled. `packet`
   // must be unique within the run.
   std::uint32_t PacketBorn(std::uint64_t packet, std::uint32_t source,

@@ -1,11 +1,16 @@
 #include "sim/packetsim.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/flight.h"
 #include "obs/obs.h"
@@ -17,6 +22,7 @@ namespace flight = obs::flight;
 namespace {
 
 constexpr double kServiceTime = 1.0;
+constexpr double kNever = std::numeric_limits<double>::infinity();
 
 struct Packet {
   std::uint32_t route = 0;
@@ -24,37 +30,190 @@ struct Packet {
   double born = 0.0;
   // Flight-recorder record index; kNotSampled (the overwhelmingly common
   // case) when this packet's lifecycle is not being captured. Lives in what
-  // was padding, so the pool's layout is unchanged.
+  // was padding, so the pool's layout is unchanged. Used by the serial
+  // engines only; the sharded engine resolves records at replay time.
   std::uint32_t rec = flight::Recorder::kNotSampled;
   bool measured = false;
 };
+
+// ---------------------------------------------------------------------------
+// Route flattening + config validation, shared by every engine.
+
+struct RoutePlan {
+  std::vector<std::vector<std::uint64_t>> route_links;
+  std::vector<std::size_t> offset;  // candidates of source s: [offset[s], offset[s+1])
+  std::size_t longest_route = 0;
+};
+
+RoutePlan FlattenRoutes(const graph::Graph& graph,
+                        const std::vector<std::vector<routing::Route>>& candidates,
+                        const PacketSimConfig& config) {
+  DCN_REQUIRE(config.offered_load > 0, "offered_load must be positive");
+  DCN_REQUIRE(config.duration > config.warmup && config.warmup >= 0,
+              "need 0 <= warmup < duration");
+  DCN_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
+  DCN_REQUIRE(!candidates.empty(), "packet sim needs at least one source");
+
+  // Flatten every candidate route to its directed-link sequence; sources
+  // index their candidates through (offset, count). The CSR view plus shared
+  // epoch scratch keeps this setup loop allocation-light even with thousands
+  // of candidate routes.
+  const graph::CsrView& csr = graph.Csr();
+  graph::EpochMarks used_links;
+  RoutePlan plan;
+  plan.offset.assign(candidates.size() + 1, 0);
+  OBS_SPAN("packetsim/setup");
+  for (std::size_t source = 0; source < candidates.size(); ++source) {
+    DCN_REQUIRE(!candidates[source].empty(),
+                "every source needs at least one candidate route");
+    for (const routing::Route& route : candidates[source]) {
+      DCN_REQUIRE(route.LinkCount() >= 1,
+                  "packet sim routes must traverse at least one link");
+      DCN_REQUIRE(route.Src() == candidates[source].front().Src(),
+                  "a source's candidate routes must share their origin");
+      plan.route_links.emplace_back();
+      routing::RouteDirectedLinksInto(csr, route, used_links,
+                                      plan.route_links.back());
+    }
+    plan.offset[source + 1] = plan.route_links.size();
+  }
+  for (const std::vector<std::uint64_t>& links : plan.route_links) {
+    plan.longest_route = std::max(plan.longest_route, links.size());
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Injection schedule. Source arrival processes never consume randomness at
+// depart events, so the complete injection sequence — birth times, spray
+// picks, packet ids — is a pure function of (config, candidates) and can be
+// precomputed serially. A mini-heap over sources replays the exact order the
+// serial event loop pops generate events in ((time, key) with one pending
+// generate per source), so the shared RNG stream is consumed draw-for-draw
+// identically and the schedule is byte-identical to the serial engines'.
+
+struct Injection {
+  double time = 0.0;
+  std::uint32_t source = 0;
+  std::uint32_t route = 0;
+};
+
+struct InjectionSchedule {
+  std::vector<Injection> injections;  // emission order == packet id
+  // Every generate-event pop the serial loop would count, including the final
+  // past-duration pop that retires each source.
+  std::uint64_t generate_events = 0;
+};
+
+InjectionSchedule BuildInjections(const RoutePlan& plan, std::size_t sources,
+                                  const PacketSimConfig& config,
+                                  SprayPolicy policy) {
+  OBS_SPAN("packetsim/schedule");
+  InjectionSchedule schedule;
+  Rng rng{config.seed};
+  using Entry = std::pair<double, std::uint32_t>;  // (time, source)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<std::size_t> next_candidate(sources, 0);
+  for (std::uint32_t source = 0; source < sources; ++source) {
+    heap.push({rng.NextExponential(config.offered_load), source});
+  }
+  while (!heap.empty()) {
+    const auto [now, source] = heap.top();
+    heap.pop();
+    ++schedule.generate_events;
+    if (now >= config.duration) continue;  // source retires; no draw
+    const std::size_t span = plan.offset[source + 1] - plan.offset[source];
+    std::size_t pick = 0;
+    if (span > 1) {
+      if (policy == SprayPolicy::kRoundRobin) {
+        pick = next_candidate[source];
+        next_candidate[source] = (pick + 1) % span;
+      } else {
+        pick = rng.NextUint64(span);
+      }
+    }
+    schedule.injections.push_back(
+        {now, source,
+         static_cast<std::uint32_t>(plan.offset[source] + pick)});
+    heap.push({now + rng.NextExponential(config.offered_load), source});
+  }
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Locally accumulated obs statistics, flushed into the sharded registry once
+// at the end — the hot event loop stays byte-for-byte the computation it was.
+
+struct ObsLocals {
+  std::uint64_t events = 0;
+  std::vector<std::uint64_t> queue_depth;  // index: depth after push
+  std::vector<std::uint64_t> hops;         // index: delivered hop count
+};
+
+void FlushObs(const PacketSimResult& result, const ObsLocals& obs) {
+  // Every value is an exact count determined by (graph, routes, config), so
+  // merged obs readouts are as reproducible as the simulation itself.
+  static obs::Counter& c_runs = obs::GetCounter("packetsim/runs");
+  static obs::Counter& c_events = obs::GetCounter("packetsim/events");
+  static obs::Counter& c_generated = obs::GetCounter("packetsim/generated");
+  static obs::Counter& c_delivered = obs::GetCounter("packetsim/delivered");
+  static obs::Counter& c_dropped = obs::GetCounter("packetsim/dropped");
+  static obs::Gauge& g_depth = obs::GetGauge("packetsim/max_queue_depth");
+  static obs::Histogram& h_depth = obs::GetHistogram("packetsim/queue_depth");
+  static obs::Histogram& h_hops = obs::GetHistogram("packetsim/hops");
+  c_runs.Add(1);
+  c_events.Add(obs.events);
+  c_generated.Add(result.generated);
+  c_delivered.Add(result.delivered);
+  c_dropped.Add(result.dropped);
+  g_depth.Set(result.max_queue_depth);
+  for (std::size_t depth = 0; depth < obs.queue_depth.size(); ++depth) {
+    h_depth.Add(static_cast<std::int64_t>(depth), obs.queue_depth[depth]);
+  }
+  for (std::size_t hops = 0; hops < obs.hops.size(); ++hops) {
+    h_hops.Add(static_cast<std::int64_t>(hops), obs.hops[hops]);
+  }
+}
+
+// Shared flight-recorder lane namer: directed link -> "u->v".
+std::function<std::string(std::uint64_t)> LaneNamer(const graph::CsrView& csr) {
+  return [&csr](std::uint64_t link) {
+    const auto [u, v] = csr.Endpoints(static_cast<graph::EdgeId>(link / 2));
+    return link % 2 == 0 ? std::to_string(u) + "->" + std::to_string(v)
+                         : std::to_string(v) + "->" + std::to_string(u);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Serial engines.
 
 enum class EventKind : std::uint8_t { kGenerate, kDepart };
 
 struct Event {
   double time = 0.0;
   EventKind kind = EventKind::kGenerate;
-  std::uint64_t payload = 0;  // route index or directed-link index
-  // Tie-break on sequence number for determinism.
-  std::uint64_t seq = 0;
+  std::uint64_t payload = 0;  // route source or directed-link index
+  // Stable tie-break key (see packetsim.h): the directed link for departs,
+  // link_count + source for generates. At most one depart per link and one
+  // generate per source is ever pending, so (time, key) is a strict total
+  // order over the queue contents — and unlike an arrival sequence number it
+  // is a pure function of the event itself, which is what lets the sharded
+  // engine reproduce the exact same order.
+  std::uint64_t key = 0;
 };
 
-// (time, seq) descending for std::priority_queue's max-heap convention —
-// pops come out (time, seq) ascending. seq is unique, so this is a strict
-// total order: every correct priority queue pops the identical event
-// sequence, and the simulation output cannot depend on the queue's internal
-// layout. (A 4-ary implicit heap was measured here and lost to the binary
-// heap: at this simulator's in-flight event counts — a few thousand, the
-// whole heap L2-resident — the extra min-of-4-children comparisons cost more
-// than the halved sift depth saves.)
+// (time, key) descending for std::priority_queue's max-heap convention —
+// pops come out (time, key) ascending. (A 4-ary implicit heap was measured
+// here and lost to the binary heap: at this simulator's in-flight event
+// counts — a few thousand, the whole heap L2-resident — the extra
+// min-of-4-children comparisons cost more than the halved sift depth saves.)
 struct EventAfter {
   bool operator()(const Event& a, const Event& b) const {
     if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+    return a.key > b.key;
   }
 };
 
-// The std::priority_queue binary heap — the production event queue.
 class BinaryEventQueue {
  public:
   bool Empty() const { return queue_.empty(); }
@@ -147,66 +306,26 @@ class DequeLinkStore {
   std::vector<LinkQueue> links_;
 };
 
-template <typename EventQueue, typename LinkStore>
-PacketSimResult RunPacketSimMultipathImpl(
+template <typename LinkStore>
+PacketSimResult RunPacketSimSerialImpl(
     const graph::Graph& graph,
     const std::vector<std::vector<routing::Route>>& candidates,
     const PacketSimConfig& config, SprayPolicy policy) {
-  DCN_REQUIRE(config.offered_load > 0, "offered_load must be positive");
-  DCN_REQUIRE(config.duration > config.warmup && config.warmup >= 0,
-              "need 0 <= warmup < duration");
-  DCN_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
-  DCN_REQUIRE(!candidates.empty(), "packet sim needs at least one source");
-
-  // Flatten every candidate route to its directed-link sequence; sources
-  // index their candidates through (offset, count). The CSR view plus shared
-  // epoch scratch keeps this setup loop allocation-light even with thousands
-  // of candidate routes.
-  const graph::CsrView& csr = graph.Csr();
-  graph::EpochMarks used_links;
-  std::vector<std::vector<std::uint64_t>> route_links;
-  std::vector<std::size_t> offset(candidates.size() + 1, 0);
-  {
-    OBS_SPAN("packetsim/setup");
-    for (std::size_t source = 0; source < candidates.size(); ++source) {
-      DCN_REQUIRE(!candidates[source].empty(),
-                  "every source needs at least one candidate route");
-      for (const routing::Route& route : candidates[source]) {
-        DCN_REQUIRE(route.LinkCount() >= 1,
-                    "packet sim routes must traverse at least one link");
-        DCN_REQUIRE(route.Src() == candidates[source].front().Src(),
-                    "a source's candidate routes must share their origin");
-        route_links.emplace_back();
-        routing::RouteDirectedLinksInto(csr, route, used_links,
-                                        route_links.back());
-      }
-      offset[source + 1] = route_links.size();
-    }
-  }
+  const RoutePlan plan = FlattenRoutes(graph, candidates, config);
   std::vector<std::size_t> next_candidate(candidates.size(), 0);
-  std::size_t longest_route = 0;
-  for (const std::vector<std::uint64_t>& links : route_links) {
-    longest_route = std::max(longest_route, links.size());
-  }
 
   const std::size_t link_count = graph.EdgeCount() * 2;
   LinkStore links(link_count, config.queue_capacity);
   std::vector<Packet> pool;
-  EventQueue events;
-  std::uint64_t seq = 0;
+  BinaryEventQueue events;
   Rng rng{config.seed};
   PacketSimResult result;
 
   // Flight recorder (obs/flight.h): purely observational. Sampling decisions
   // come from an RNG stream forked off the recorder's own salt — never from
   // `rng` — so results below are byte-identical with the recorder on or off.
-  flight::RunScope flight_run{
-      "packetsim", config.duration, link_count,
-      [&csr](std::uint64_t link) {
-        const auto [u, v] = csr.Endpoints(static_cast<graph::EdgeId>(link / 2));
-        return link % 2 == 0 ? std::to_string(u) + "->" + std::to_string(v)
-                             : std::to_string(v) + "->" + std::to_string(u);
-      }};
+  flight::RunScope flight_run{"packetsim", config.duration, link_count,
+                              LaneNamer(graph.Csr())};
   flight::Recorder* const fr = flight_run.recorder();
   const bool fr_sample = fr != nullptr && fr->SamplingOn();
   const bool fr_ts = fr != nullptr && fr->TimeSeriesOn();
@@ -214,16 +333,14 @@ PacketSimResult RunPacketSimMultipathImpl(
   std::int64_t fr_in_flight = 0;
 
   auto schedule = [&](double time, EventKind kind, std::uint64_t payload) {
-    events.Push(Event{time, kind, payload, seq++});
+    const std::uint64_t key =
+        kind == EventKind::kDepart ? payload : link_count + payload;
+    events.Push(Event{time, kind, payload, key});
   };
 
-  // obs accumulators, kept in plain locals on the simulation's own cache
-  // lines and flushed into the sharded registry once at the end — the hot
-  // event loop stays byte-for-byte the computation it was.
-  std::uint64_t obs_events = 0;
-  std::vector<std::uint64_t> obs_queue_depth(
-      static_cast<std::size_t>(config.queue_capacity) + 1, 0);
-  std::vector<std::uint64_t> obs_hops(longest_route + 1, 0);
+  ObsLocals obs;
+  obs.queue_depth.assign(static_cast<std::size_t>(config.queue_capacity) + 1, 0);
+  obs.hops.assign(plan.longest_route + 1, 0);
 
   // On enqueue, a packet either joins the FIFO (starting service if the link
   // was idle) or is dropped.
@@ -235,7 +352,7 @@ PacketSimResult RunPacketSimMultipathImpl(
       return;
     }
     links.Push(link, packet);
-    ++obs_queue_depth[static_cast<std::size_t>(links.Size(link))];
+    ++obs.queue_depth[static_cast<std::size_t>(links.Size(link))];
     result.max_queue_depth = std::max(result.max_queue_depth, links.Size(link));
     const bool service_now = links.Size(link) == 1;
     if (fr_ts) fr->LinkQueueDepth(link, now, links.Size(link));
@@ -256,13 +373,13 @@ PacketSimResult RunPacketSimMultipathImpl(
   while (!events.Empty()) {
     const Event event = events.Top();
     events.Pop();
-    ++obs_events;
+    ++obs.events;
     const double now = event.time;
 
     if (event.kind == EventKind::kGenerate) {
       const auto source = static_cast<std::size_t>(event.payload);
       if (now < config.duration) {
-        const std::size_t span = offset[source + 1] - offset[source];
+        const std::size_t span = plan.offset[source + 1] - plan.offset[source];
         std::size_t pick = 0;
         if (span > 1) {
           if (policy == SprayPolicy::kRoundRobin) {
@@ -272,7 +389,7 @@ PacketSimResult RunPacketSimMultipathImpl(
             pick = rng.NextUint64(span);
           }
         }
-        const auto r = static_cast<std::uint32_t>(offset[source] + pick);
+        const auto r = static_cast<std::uint32_t>(plan.offset[source] + pick);
         const auto id = static_cast<std::uint32_t>(pool.size());
         Packet packet;
         packet.route = r;
@@ -286,7 +403,7 @@ PacketSimResult RunPacketSimMultipathImpl(
         ++result.generated;
         if (packet.measured) ++result.measured;
         if (fr_ts) fr->InFlight(now, ++fr_in_flight);
-        enqueue(id, route_links[r][0], now);
+        enqueue(id, plan.route_links[r][0], now);
         schedule(now + rng.NextExponential(config.offered_load),
                  EventKind::kGenerate, source);
       }
@@ -305,8 +422,8 @@ PacketSimResult RunPacketSimMultipathImpl(
 
     Packet& packet = pool[id];
     ++packet.hop;
-    if (packet.hop == route_links[packet.route].size()) {
-      ++obs_hops[packet.hop];
+    if (packet.hop == plan.route_links[packet.route].size()) {
+      ++obs.hops[packet.hop];
       if (packet.measured) {
         ++result.delivered;
         const double latency = now - packet.born;
@@ -316,7 +433,7 @@ PacketSimResult RunPacketSimMultipathImpl(
       if (fr_sample) fr->PacketDelivered(packet.rec, now);
       if (fr_ts) fr->InFlight(now, --fr_in_flight);
     } else {
-      enqueue(id, route_links[packet.route][packet.hop], now);
+      enqueue(id, plan.route_links[packet.route][packet.hop], now);
     }
   }
 
@@ -337,29 +454,493 @@ PacketSimResult RunPacketSimMultipathImpl(
 
   DCN_ASSERT(result.delivered + result.dropped <= result.measured);
   if (fr_bd) result.breakdown = fr->Breakdown();
+  FlushObs(result, obs);
+  return result;
+}
 
-  // Flush the locally accumulated statistics. Every value is an exact count
-  // determined by (graph, routes, config), so merged obs readouts are as
-  // reproducible as the simulation itself.
-  static obs::Counter& c_runs = obs::GetCounter("packetsim/runs");
-  static obs::Counter& c_events = obs::GetCounter("packetsim/events");
-  static obs::Counter& c_generated = obs::GetCounter("packetsim/generated");
-  static obs::Counter& c_delivered = obs::GetCounter("packetsim/delivered");
-  static obs::Counter& c_dropped = obs::GetCounter("packetsim/dropped");
-  static obs::Gauge& g_depth = obs::GetGauge("packetsim/max_queue_depth");
-  static obs::Histogram& h_depth = obs::GetHistogram("packetsim/queue_depth");
-  static obs::Histogram& h_hops = obs::GetHistogram("packetsim/hops");
-  c_runs.Add(1);
-  c_events.Add(obs_events);
-  c_generated.Add(result.generated);
-  c_delivered.Add(result.delivered);
-  c_dropped.Add(result.dropped);
-  g_depth.Set(result.max_queue_depth);
-  for (std::size_t depth = 0; depth < obs_queue_depth.size(); ++depth) {
-    h_depth.Add(static_cast<std::int64_t>(depth), obs_queue_depth[depth]);
+// ---------------------------------------------------------------------------
+// Sharded engine. Directed links are partitioned into contiguous blocks, one
+// per team member (links are adjacency-ordered, so a block approximates a
+// switch domain). Unit service time is the conservative lookahead: every
+// event scheduled from inside the window [w, w+1) lands at or beyond w+1, so
+// the window's events across all shards are causally closed and each round
+// advances every shard through one window between barriers:
+//
+//   Phase A (read-only)  resolve the window's departs; post cross-shard
+//                        arrival handoffs into per-(member, member) outboxes.
+//   Phase C (mutating)   each member sorts its departs + inbox arrivals +
+//                        injections by (time, key, kind, id) and applies them
+//                        to its own links only.
+//   Coordinator          member 0 merges per-member delivery / flight-op
+//                        buffers by the same stable order, replays them into
+//                        the order-sensitive sinks (SampleSet, recorder), and
+//                        opens the next window at the global minimum pending
+//                        event time.
+//
+// Every cross-member merge happens in (time, key) order with the packet id as
+// a final stable tie-break, never in execution order, so the result is
+// byte-identical for any team size — including 1, which is also byte-identical
+// to the serial engines above because they pop the very same (time, key)
+// order.
+
+constexpr std::uint8_t kDepartEvent = 0;   // head of `link` finished service
+constexpr std::uint8_t kArrivalEvent = 1;  // handoff onto `link`
+constexpr std::uint8_t kInjectEvent = 2;   // new packet enters at `link`
+
+struct ShardEvent {
+  double time = 0.0;
+  // Stable key: the link for departs, the *upstream* link for arrivals (an
+  // arrival happens inside its parent depart event), link_count + source for
+  // injections.
+  std::uint64_t key = 0;
+  std::uint64_t link = 0;  // link the event applies to
+  std::uint32_t id = 0;    // packet id == injection index
+  std::uint8_t kind = kDepartEvent;
+};
+
+// The documented processing order: time, then stable key, then kind (a depart
+// precedes the arrival it hands off, mirroring the serial engine's inline
+// forwarding), then packet id (only reachable when a source emits two packets
+// at the exact same instant).
+bool EventBefore(const ShardEvent& a, const ShardEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.key != b.key) return a.key < b.key;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.id < b.id;
+}
+
+struct PendingDepart {
+  double time = 0.0;
+  std::uint64_t link = 0;
+};
+
+// A delivered measured packet: drives result.latency.Add and the breakdown in
+// the serial engine's exact order once merged across members.
+struct DeliveryRec {
+  double time = 0.0;
+  std::uint64_t key = 0;
+  double latency = 0.0;
+  std::uint32_t hops = 0;
+};
+
+// Buffered flight-recorder call. `sub` fixes the intra-event call sequence to
+// the serial engine's: depart events emit Transmit(0), HopDepart(1),
+// ServiceStart(2), Delivered(3), InFlight(4) and their forwarded arrival's
+// enqueue ops at 5/6; injections emit Born(0), InFlight(1) and enqueue ops at
+// 2/3. The recorder itself is single-threaded and order-sensitive, so members
+// only buffer; member 0 replays the (time, key, sub, id) merge.
+enum class FlightOpKind : std::uint8_t {
+  kBorn,
+  kEnqueue,
+  kServiceStart,
+  kHopDepart,
+  kDropped,
+  kDelivered,
+  kTransmit,
+  kQueueDepth,
+  kInFlight,
+};
+
+struct FlightOp {
+  double time = 0.0;
+  std::uint64_t key = 0;
+  std::uint32_t sub = 0;
+  FlightOpKind op = FlightOpKind::kBorn;
+  std::uint32_t id = 0;    // packet, where applicable
+  std::uint64_t link = 0;  // link (or source for kBorn)
+  std::int32_t arg = 0;    // depth / ±in-flight delta / bool flag
+};
+
+bool OpBefore(const FlightOp& a, const FlightOp& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.key != b.key) return a.key < b.key;
+  if (a.sub != b.sub) return a.sub < b.sub;
+  return a.id < b.id;
+}
+
+// Per-member state. Members only ever mutate their own block of links, their
+// own buffers, and their own outbox row; everything crossing members is
+// either read-only for the phase or separated by a barrier.
+struct Member {
+  std::vector<PendingDepart> pending;  // all future departs of my links
+  std::vector<PendingDepart> kept;     // scratch for the window partition
+  std::vector<ShardEvent> events;      // this window's work list
+  std::vector<std::vector<ShardEvent>> outbox;  // by destination member
+  std::vector<DeliveryRec> deliveries;
+  std::vector<FlightOp> ops;
+  double min_next = kNever;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t handoffs = 0;   // cross-link forwards posted in Phase A
+  std::uint64_t processed = 0;  // events applied in Phase C
+  int max_depth = 0;
+  std::vector<std::uint64_t> depth_hist;
+  std::vector<std::uint64_t> hops_hist;
+};
+
+// Window bounds + injection range, published by the coordinator between
+// barriers and read by every member after the next one.
+struct WindowControl {
+  double w_hi = 0.0;
+  std::size_t inj_begin = 0;
+  std::size_t inj_end = 0;
+  bool done = false;
+};
+
+PacketSimResult RunPacketSimMultipathSharded(
+    const graph::Graph& graph,
+    const std::vector<std::vector<routing::Route>>& candidates,
+    const PacketSimConfig& config, SprayPolicy policy) {
+  const RoutePlan plan = FlattenRoutes(graph, candidates, config);
+  const std::size_t link_count = graph.EdgeCount() * 2;
+  const InjectionSchedule schedule =
+      BuildInjections(plan, candidates.size(), config, policy);
+  const std::vector<Injection>& injections = schedule.injections;
+  const std::size_t packet_count = injections.size();
+
+  RingLinkStore store(link_count, config.queue_capacity);
+  std::vector<Packet> pool(packet_count);
+  PacketSimResult result;
+  result.generated = packet_count;
+  for (const Injection& inj : injections) {
+    if (inj.time >= config.warmup) ++result.measured;
   }
-  for (std::size_t hops = 0; hops < obs_hops.size(); ++hops) {
-    h_hops.Add(static_cast<std::int64_t>(hops), obs_hops[hops]);
+
+  flight::RunScope flight_run{"packetsim", config.duration, link_count,
+                              LaneNamer(graph.Csr())};
+  flight::Recorder* const fr = flight_run.recorder();
+  const bool fr_sample = fr != nullptr && fr->SamplingOn();
+  const bool fr_ts = fr != nullptr && fr->TimeSeriesOn();
+  const bool fr_bd = fr != nullptr && fr->BreakdownOn();
+  // Which packets the recorder would sample; written by the injecting member,
+  // read by later windows' depart owners (barrier-separated). Pre-filtering
+  // keeps op buffers proportional to the sampled traffic.
+  std::vector<std::uint8_t> sampled(fr_sample ? packet_count : 0, 0);
+
+  const int team = TeamSize();
+  const auto team_u = static_cast<std::uint64_t>(team);
+  // Contiguous block partition of directed links across members.
+  auto owner_of = [&](std::uint64_t link) {
+    return link_count == 0 ? 0 : static_cast<int>(link * team_u / link_count);
+  };
+
+  std::vector<Member> members(static_cast<std::size_t>(team));
+  for (Member& m : members) {
+    m.outbox.resize(static_cast<std::size_t>(team));
+    m.depth_hist.assign(static_cast<std::size_t>(config.queue_capacity) + 1, 0);
+    m.hops_hist.assign(plan.longest_route + 1, 0);
+  }
+  std::vector<double> mins(static_cast<std::size_t>(team), kNever);
+  WindowControl control;
+
+  // Coordinator-only state (member 0's thread during the run; the calling
+  // thread before launch and after the join).
+  std::size_t cursor = 0;
+  std::uint64_t rounds = 0;
+  std::int64_t fr_in_flight = 0;
+  std::vector<std::uint32_t> rec_of(fr_sample ? packet_count : 0,
+                                    flight::Recorder::kNotSampled);
+  std::vector<DeliveryRec> merge_deliveries;
+  std::vector<FlightOp> merge_ops;
+
+  auto open_window = [&](double next) {
+    if (next == kNever) {
+      control.done = true;
+      return;
+    }
+    control.w_hi = next + kServiceTime;
+    control.inj_begin = cursor;
+    while (cursor < packet_count && injections[cursor].time < control.w_hi) {
+      ++cursor;
+    }
+    control.inj_end = cursor;
+  };
+  open_window(packet_count > 0 ? injections[0].time : kNever);
+
+  auto coordinate = [&] {
+    OBS_SPAN("packetsim/coordinate");
+    ++rounds;
+    merge_deliveries.clear();
+    for (Member& m : members) {
+      merge_deliveries.insert(merge_deliveries.end(), m.deliveries.begin(),
+                              m.deliveries.end());
+      m.deliveries.clear();
+    }
+    std::sort(merge_deliveries.begin(), merge_deliveries.end(),
+              [](const DeliveryRec& a, const DeliveryRec& b) {
+                return a.time != b.time ? a.time < b.time : a.key < b.key;
+              });
+    for (const DeliveryRec& d : merge_deliveries) {
+      result.latency.Add(d.latency);
+      if (fr_bd) fr->Delivery(d.latency, static_cast<int>(d.hops));
+    }
+    if (fr != nullptr) {
+      merge_ops.clear();
+      for (Member& m : members) {
+        merge_ops.insert(merge_ops.end(), m.ops.begin(), m.ops.end());
+        m.ops.clear();
+      }
+      std::sort(merge_ops.begin(), merge_ops.end(), OpBefore);
+      for (const FlightOp& op : merge_ops) {
+        switch (op.op) {
+          case FlightOpKind::kBorn:
+            rec_of[op.id] =
+                fr->PacketBorn(op.id, static_cast<std::uint32_t>(op.link),
+                               op.time, op.arg != 0);
+            break;
+          case FlightOpKind::kEnqueue:
+            fr->HopEnqueue(rec_of[op.id], op.link, op.time, op.arg != 0);
+            break;
+          case FlightOpKind::kServiceStart:
+            fr->HopServiceStart(rec_of[op.id], op.time);
+            break;
+          case FlightOpKind::kHopDepart:
+            fr->HopDepart(rec_of[op.id], op.time);
+            break;
+          case FlightOpKind::kDropped:
+            fr->PacketDropped(rec_of[op.id], op.link, op.time);
+            break;
+          case FlightOpKind::kDelivered:
+            fr->PacketDelivered(rec_of[op.id], op.time);
+            break;
+          case FlightOpKind::kTransmit:
+            fr->LinkTransmit(op.link, op.time);
+            break;
+          case FlightOpKind::kQueueDepth:
+            fr->LinkQueueDepth(op.link, op.time, op.arg);
+            break;
+          case FlightOpKind::kInFlight:
+            fr_in_flight += op.arg;
+            fr->InFlight(op.time, fr_in_flight);
+            break;
+        }
+      }
+    }
+    double next = cursor < packet_count ? injections[cursor].time : kNever;
+    for (double m : mins) next = std::min(next, m);
+    open_window(next);
+  };
+
+  OBS_SPAN("packetsim/run");
+  RunTeam(team, [&](int me, SpinBarrier& barrier) {
+    OBS_SPAN("packetsim/shard");
+    Member& m = members[static_cast<std::size_t>(me)];
+
+    // Enqueue `id` onto `e.link` (or drop), exactly the serial engine's
+    // logic, with flight calls buffered at sub_base/sub_base+1.
+    auto apply_enqueue = [&](const ShardEvent& e, std::uint32_t sub_base) {
+      const std::uint32_t id = e.id;
+      if (store.Size(e.link) >= config.queue_capacity) {
+        if (pool[id].measured) ++m.dropped;
+        if (fr_sample && sampled[id] != 0) {
+          m.ops.push_back({e.time, e.key, sub_base, FlightOpKind::kDropped, id,
+                           e.link, 0});
+        }
+        if (fr_ts) {
+          m.ops.push_back(
+              {e.time, e.key, sub_base + 1, FlightOpKind::kInFlight, 0, 0, -1});
+        }
+        return;
+      }
+      store.Push(e.link, id);
+      const int depth = store.Size(e.link);
+      ++m.depth_hist[static_cast<std::size_t>(depth)];
+      m.max_depth = std::max(m.max_depth, depth);
+      const bool service_now = depth == 1;
+      if (fr_ts) {
+        m.ops.push_back({e.time, e.key, sub_base, FlightOpKind::kQueueDepth, 0,
+                         e.link, depth});
+      }
+      if (fr_sample && sampled[id] != 0) {
+        m.ops.push_back({e.time, e.key, sub_base + 1, FlightOpKind::kEnqueue,
+                         id, e.link, service_now ? 1 : 0});
+      }
+      if (service_now) m.pending.push_back({e.time + kServiceTime, e.link});
+    };
+
+    for (;;) {
+      barrier.Arrive();  // window published by the coordinator
+      if (control.done) break;
+      const double w_hi = control.w_hi;
+
+      // Phase A (read-only): split pending departs into this window vs later,
+      // resolve each due depart's head packet, and post the handoff to the
+      // next link's owner. Heads are stable here: same-window arrivals join
+      // the FIFO tail, never the head.
+      m.events.clear();
+      for (std::vector<ShardEvent>& row : m.outbox) row.clear();
+      m.kept.clear();
+      for (const PendingDepart& d : m.pending) {
+        if (d.time >= w_hi) {
+          m.kept.push_back(d);
+          continue;
+        }
+        DCN_ASSERT(!store.Empty(d.link));
+        const std::uint32_t id = store.Front(d.link);
+        m.events.push_back({d.time, d.link, d.link, id, kDepartEvent});
+        const Packet& p = pool[id];
+        const std::vector<std::uint64_t>& links = plan.route_links[p.route];
+        if (p.hop + 1 < links.size()) {
+          const std::uint64_t dest = links[p.hop + 1];
+          m.outbox[static_cast<std::size_t>(owner_of(dest))].push_back(
+              {d.time, d.link, dest, id, kArrivalEvent});
+          ++m.handoffs;
+        }
+      }
+      m.pending.swap(m.kept);
+
+      barrier.Arrive();  // every outbox row is final
+
+      // Phase C (mutating): my departs + arrivals handed to me + my
+      // injections, applied in the documented (time, key, kind, id) order.
+      for (const Member& from : members) {
+        const std::vector<ShardEvent>& in =
+            from.outbox[static_cast<std::size_t>(me)];
+        m.events.insert(m.events.end(), in.begin(), in.end());
+      }
+      for (std::size_t i = control.inj_begin; i < control.inj_end; ++i) {
+        const Injection& inj = injections[i];
+        const std::uint64_t first = plan.route_links[inj.route][0];
+        if (owner_of(first) != me) continue;
+        m.events.push_back({inj.time, link_count + inj.source, first,
+                            static_cast<std::uint32_t>(i), kInjectEvent});
+      }
+      std::sort(m.events.begin(), m.events.end(), EventBefore);
+      m.processed += m.events.size();
+
+      for (const ShardEvent& e : m.events) {
+        if (e.kind == kDepartEvent) {
+          const std::uint32_t id = store.PopFront(e.link);
+          DCN_ASSERT(id == e.id);
+          if (fr_ts) {
+            m.ops.push_back(
+                {e.time, e.key, 0, FlightOpKind::kTransmit, 0, e.link, 0});
+          }
+          if (fr_sample && sampled[id] != 0) {
+            m.ops.push_back(
+                {e.time, e.key, 1, FlightOpKind::kHopDepart, id, 0, 0});
+          }
+          if (!store.Empty(e.link)) {
+            m.pending.push_back({e.time + kServiceTime, e.link});
+            const std::uint32_t front = store.Front(e.link);
+            if (fr_sample && sampled[front] != 0) {
+              m.ops.push_back(
+                  {e.time, e.key, 2, FlightOpKind::kServiceStart, front, 0, 0});
+            }
+          }
+          Packet& p = pool[id];
+          ++p.hop;
+          if (p.hop == plan.route_links[p.route].size()) {
+            ++m.hops_hist[p.hop];
+            if (p.measured) {
+              ++m.delivered;
+              m.deliveries.push_back({e.time, e.key, e.time - p.born, p.hop});
+            }
+            if (fr_sample && sampled[id] != 0) {
+              m.ops.push_back(
+                  {e.time, e.key, 3, FlightOpKind::kDelivered, id, 0, 0});
+            }
+            if (fr_ts) {
+              m.ops.push_back(
+                  {e.time, e.key, 4, FlightOpKind::kInFlight, 0, 0, -1});
+            }
+          }
+          // Forwarding is the matching kArrivalEvent, possibly on another
+          // member.
+        } else if (e.kind == kArrivalEvent) {
+          apply_enqueue(e, 5);
+        } else {  // kInjectEvent
+          const Injection& inj = injections[e.id];
+          Packet p;
+          p.route = inj.route;
+          p.born = e.time;
+          p.measured = e.time >= config.warmup;
+          pool[e.id] = p;
+          if (fr_sample) {
+            const bool would = fr->WouldSample(e.id);
+            sampled[e.id] = would ? 1 : 0;
+            if (would) {
+              m.ops.push_back({e.time, e.key, 0, FlightOpKind::kBorn, e.id,
+                               inj.source, p.measured ? 1 : 0});
+            }
+          }
+          if (fr_ts) {
+            m.ops.push_back(
+                {e.time, e.key, 1, FlightOpKind::kInFlight, 0, 0, 1});
+          }
+          apply_enqueue(e, 2);
+        }
+      }
+
+      double min_next = kNever;
+      for (const PendingDepart& d : m.pending) {
+        min_next = std::min(min_next, d.time);
+      }
+      mins[static_cast<std::size_t>(me)] = min_next;
+
+      barrier.Arrive();  // every mutation and buffer for this window is done
+      if (me == 0) coordinate();
+    }
+  });
+
+  for (const Member& m : members) {
+    result.delivered += m.delivered;
+    result.dropped += m.dropped;
+    result.max_queue_depth = std::max(result.max_queue_depth, m.max_depth);
+  }
+
+  double busiest = 0.0, total = 0.0;
+  std::size_t busy_links = 0;
+  std::uint64_t transmitted_total = 0;
+  for (std::size_t link = 0; link < link_count; ++link) {
+    const std::uint64_t transmitted = store.Transmitted(link);
+    transmitted_total += transmitted;
+    if (transmitted == 0) continue;
+    const double utilization =
+        static_cast<double>(transmitted) * kServiceTime / config.duration;
+    busiest = std::max(busiest, utilization);
+    total += utilization;
+    ++busy_links;
+  }
+  result.max_link_utilization = busiest;
+  result.mean_link_utilization =
+      busy_links == 0 ? 0.0 : total / static_cast<double>(busy_links);
+
+  DCN_ASSERT(result.delivered + result.dropped <= result.measured);
+  if (fr_bd) result.breakdown = fr->Breakdown();
+
+  ObsLocals obs;
+  // Exact pop-count parity with the serial loop: one event per generate pop
+  // (retirements included) plus one per depart.
+  obs.events = schedule.generate_events + transmitted_total;
+  obs.queue_depth.assign(static_cast<std::size_t>(config.queue_capacity) + 1, 0);
+  obs.hops.assign(plan.longest_route + 1, 0);
+  for (const Member& m : members) {
+    for (std::size_t d = 0; d < obs.queue_depth.size(); ++d) {
+      obs.queue_depth[d] += m.depth_hist[d];
+    }
+    for (std::size_t h = 0; h < obs.hops.size(); ++h) {
+      obs.hops[h] += m.hops_hist[h];
+    }
+  }
+  FlushObs(result, obs);
+
+  // Shard diagnostics. windows/handoffs are pure functions of the workload
+  // (identical at any team size); the per-member event histogram and team
+  // gauge intentionally depend on DCN_THREADS — its *sum* is still invariant.
+  static obs::Counter& c_windows = obs::GetCounter("packetsim/parallel/windows");
+  static obs::Counter& c_handoffs =
+      obs::GetCounter("packetsim/parallel/handoffs");
+  static obs::Gauge& g_team = obs::GetGauge("packetsim/parallel/team");
+  static obs::Histogram& h_shard =
+      obs::GetHistogram("packetsim/parallel/shard_events");
+  c_windows.Add(rounds);
+  std::uint64_t handoffs = 0;
+  for (const Member& m : members) handoffs += m.handoffs;
+  c_handoffs.Add(handoffs);
+  g_team.Set(team);
+  for (const Member& m : members) {
+    h_shard.Add(static_cast<std::int64_t>(m.processed));
   }
   return result;
 }
@@ -380,8 +961,14 @@ PacketSimResult RunPacketSimMultipath(
     const graph::Graph& graph,
     const std::vector<std::vector<routing::Route>>& candidates,
     const PacketSimConfig& config, SprayPolicy policy) {
-  return RunPacketSimMultipathImpl<BinaryEventQueue, RingLinkStore>(
-      graph, candidates, config, policy);
+  // A team of one gains nothing from windows, sorting, and barriers, so
+  // dispatch to the plain event loop — byte-identical by the determinism
+  // contract (packetsim.h), and a single-core host pays no shard overhead.
+  if (TeamSize() == 1) {
+    return RunPacketSimSerialImpl<RingLinkStore>(graph, candidates, config,
+                                                 policy);
+  }
+  return RunPacketSimMultipathSharded(graph, candidates, config, policy);
 }
 
 PacketSimResult RunPacketSim(const graph::Graph& graph,
@@ -390,10 +977,25 @@ PacketSimResult RunPacketSim(const graph::Graph& graph,
   return RunPacketSimMultipath(graph, SingletonCandidates(routes), config);
 }
 
+PacketSimResult RunPacketSimMultipathSerial(
+    const graph::Graph& graph,
+    const std::vector<std::vector<routing::Route>>& candidates,
+    const PacketSimConfig& config, SprayPolicy policy) {
+  return RunPacketSimSerialImpl<RingLinkStore>(graph, candidates, config,
+                                               policy);
+}
+
+PacketSimResult RunPacketSimSerial(const graph::Graph& graph,
+                                   const std::vector<routing::Route>& routes,
+                                   const PacketSimConfig& config) {
+  return RunPacketSimMultipathSerial(graph, SingletonCandidates(routes),
+                                     config);
+}
+
 PacketSimResult RunPacketSimLegacyBaseline(
     const graph::Graph& graph, const std::vector<routing::Route>& routes,
     const PacketSimConfig& config) {
-  return RunPacketSimMultipathImpl<BinaryEventQueue, DequeLinkStore>(
+  return RunPacketSimSerialImpl<DequeLinkStore>(
       graph, SingletonCandidates(routes), config, SprayPolicy::kRoundRobin);
 }
 

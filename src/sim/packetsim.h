@@ -6,6 +6,22 @@
 // precomputed routes. This complements the flow-level model: it exposes
 // queueing latency and loss vs offered load (experiment F9), which max-min
 // fairness abstracts away.
+//
+// Determinism contract (see DESIGN.md "Sharded packet simulator"):
+// simultaneous events are ordered by a STABLE KEY, not by scheduling order —
+// the directed-link id for departs (at most one pending depart per link) and
+// link_count + source for generate events (at most one pending per source).
+// A forwarded arrival executes inside its parent depart event, i.e. at the
+// parent's (time, key) position; a depart precedes the arrival it hands off.
+// Simultaneous timestamps are COMMON under congestion (service completions
+// are birth times plus integer counts of the unit service time, so queueing
+// chains synchronize), which is why the contract is spelled out: every entry
+// point below pops the identical (time, key) total order, so RunPacketSim
+// (sharded, conservative-lookahead windows of one service time between
+// barriers), RunPacketSimSerial (reference event loop), and
+// RunPacketSimLegacyBaseline (deque-store event loop) are all byte-identical
+// to each other at any DCN_THREADS setting, with the flight recorder on or
+// off.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +70,11 @@ struct PacketSimResult {
 
 // Runs the simulation until every generated packet is delivered or dropped.
 // Routes must be valid and non-empty; a route of a single hop (src == dst)
-// is rejected.
+// is rejected. This is the sharded engine: directed links are partitioned
+// into TeamSize() contiguous blocks that advance window-by-window between
+// barriers; the result is byte-identical at any DCN_THREADS (and to
+// RunPacketSimSerial). A team of one dispatches straight to the serial loop
+// — same bytes, none of the window overhead.
 PacketSimResult RunPacketSim(const graph::Graph& graph,
                              const std::vector<routing::Route>& routes,
                              const PacketSimConfig& config = {});
@@ -75,12 +95,25 @@ PacketSimResult RunPacketSimMultipath(
     const PacketSimConfig& config = {},
     SprayPolicy policy = SprayPolicy::kRoundRobin);
 
-// RunPacketSim driven by the vector-of-deques per-link FIFO storage the
-// simulator used before the flat ring-buffer link store. Both layouts keep
-// identical FIFO semantics and the event queue pops the identical
-// (time, seq) total order, so the result is bit-identical to RunPacketSim —
-// retained solely as the in-process baseline for bench_micro's packetsim
-// entry (and the equivalence test in tests/test_packetsim.cc).
+// Single-threaded reference event loop (one binary heap popping the
+// documented (time, key) order). The differential suite in
+// tests/test_packetsim_parallel.cc pins RunPacketSim to this bit-for-bit.
+PacketSimResult RunPacketSimSerial(const graph::Graph& graph,
+                                   const std::vector<routing::Route>& routes,
+                                   const PacketSimConfig& config = {});
+PacketSimResult RunPacketSimMultipathSerial(
+    const graph::Graph& graph,
+    const std::vector<std::vector<routing::Route>>& candidates,
+    const PacketSimConfig& config = {},
+    SprayPolicy policy = SprayPolicy::kRoundRobin);
+
+// The serial reference driven by the vector-of-deques per-link FIFO storage
+// the simulator used before the flat ring-buffer link store. Both layouts
+// keep identical FIFO semantics and pop the identical (time, key) total
+// order, so the result is bit-identical to RunPacketSim — retained as the
+// in-process baseline for bench_micro's packetsim entry, the
+// bench_parallel_scaling reference anchor, and the equivalence test in
+// tests/test_packetsim.cc.
 PacketSimResult RunPacketSimLegacyBaseline(
     const graph::Graph& graph, const std::vector<routing::Route>& routes,
     const PacketSimConfig& config = {});

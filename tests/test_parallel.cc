@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
@@ -167,6 +168,88 @@ TEST_F(ParallelTest, MapReduceMergesPartialsInChunkOrder) {
       ASSERT_EQ(order[c], c) << "threads=" << threads;
     }
   }
+}
+
+TEST_F(ParallelTest, TeamSizeMatchesThreadCountAndNestsToOne) {
+  SetThreadCount(5);
+  EXPECT_EQ(TeamSize(), 5);
+  ParallelFor(1, 1, [](std::size_t, std::size_t) {
+    EXPECT_EQ(TeamSize(), 1);  // nested: members would share one thread
+  });
+  SetThreadCount(1);
+  EXPECT_EQ(TeamSize(), 1);
+}
+
+TEST_F(ParallelTest, RunTeamGivesEveryMemberItsOwnThreadInLockstep) {
+  for (int threads : {1, 3, 7}) {
+    SetThreadCount(threads);
+    const int team = TeamSize();
+    ASSERT_EQ(team, threads);
+    // Phase 1: every member records its slot; phase 2 (barrier-separated):
+    // every member checks it can read all the other members' phase-1 writes.
+    std::vector<int> slots(static_cast<std::size_t>(team), -1);
+    std::atomic<int> failures{0};
+    RunTeam(team, [&](int me, SpinBarrier& barrier) {
+      EXPECT_EQ(barrier.Parties(), team);
+      slots[static_cast<std::size_t>(me)] = me;
+      barrier.Arrive();
+      for (int k = 0; k < team; ++k) {
+        if (slots[static_cast<std::size_t>(k)] != k) ++failures;
+      }
+      barrier.Arrive();
+    });
+    EXPECT_EQ(failures.load(), 0) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelTest, RunTeamBarrierPhasesAlternateWithoutLoss) {
+  // Many rounds of write-barrier-read: catches a barrier that lets a fast
+  // member lap a slow one (sense reversal) or drops a wakeup when the team
+  // is oversubscribed on few cores.
+  SetThreadCount(4);
+  const int team = TeamSize();
+  constexpr int kRounds = 200;
+  std::vector<std::uint64_t> counters(static_cast<std::size_t>(team), 0);
+  std::atomic<int> failures{0};
+  RunTeam(team, [&](int me, SpinBarrier& barrier) {
+    for (int round = 0; round < kRounds; ++round) {
+      ++counters[static_cast<std::size_t>(me)];
+      barrier.Arrive();
+      for (int k = 0; k < team; ++k) {
+        if (counters[static_cast<std::size_t>(k)] !=
+            static_cast<std::uint64_t>(round + 1)) {
+          ++failures;
+        }
+      }
+      barrier.Arrive();
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ParallelTest, RunTeamMemberFailureAbortsTheWholeTeam) {
+  SetThreadCount(4);
+  const int team = TeamSize();
+  ASSERT_GE(team, 2);
+  // Member 2 throws before the barrier; the rest must unwind via the abort
+  // instead of deadlocking in Arrive, and the pool must survive.
+  EXPECT_THROW(RunTeam(team,
+                       [&](int me, SpinBarrier& barrier) {
+                         if (me == 2) throw std::runtime_error{"member failed"};
+                         barrier.Arrive();
+                       }),
+               std::exception);
+  std::atomic<int> calls{0};
+  RunTeam(team, [&](int, SpinBarrier& barrier) {
+    ++calls;
+    barrier.Arrive();
+  });
+  EXPECT_EQ(calls.load(), team);
+}
+
+TEST_F(ParallelTest, RunTeamRejectsOversizedTeams) {
+  SetThreadCount(2);
+  EXPECT_THROW(RunTeam(3, [](int, SpinBarrier&) {}), InvalidArgument);
 }
 
 TEST_F(ParallelTest, MapReduceComputesTheSameSumForAnyThreadCount) {
