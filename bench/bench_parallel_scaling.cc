@@ -32,6 +32,7 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -266,15 +267,23 @@ int main(int argc, char** argv) {
   }
   const int status = all_identical && speedup_ok ? 0 : 1;
 
+  // Known artifact, recorded so readers of the results files do not chase a
+  // phantom regression: on a single-core host, packetsim threads=2 runs
+  // SLOWER than threads=1 (window sort + barrier overhead with no parallel
+  // hardware to pay for it). That row is gated only by the kernel's 0.5x
+  // floor above, and the flag below marks affected runs in the JSON.
+  const bool single_core_host = std::thread::hardware_concurrency() <= 1;
+
   if (json) {
     std::printf("[\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       std::printf(
           "{\"kernel\": \"%s\", \"threads\": %d, \"time_ms\": %.1f, "
-          "\"speedup\": %.2f, \"identical\": %s",
+          "\"speedup\": %.2f, \"identical\": %s, \"single_core_host\": %s",
           row.kernel.c_str(), row.threads, row.ms, row.speedup,
-          row.identical ? "true" : "false");
+          row.identical ? "true" : "false",
+          single_core_host ? "true" : "false");
       if (row.msbfs_bu_levels + row.msbfs_td_levels > 0) {
         std::printf(", \"msbfs_bottom_up_fraction\": %.4f",
                     static_cast<double>(row.msbfs_bu_levels) /
@@ -302,5 +311,13 @@ int main(int argc, char** argv) {
                "physical core count and sit at ~1.00x on a single-core host; "
                "the `identical` column is always `yes` — the determinism "
                "contract of common/parallel.h.\n";
+  if (single_core_host) {
+    std::cout << "\nNote: this host exposes ONE hardware thread. Expect "
+                 "packetsim (sharded event loop) at threads=2 to run slower "
+                 "than threads=1 — the shard windows still pay their sort and "
+                 "barrier costs with no parallel hardware to amortize them. "
+                 "This is the documented single-core artifact, bounded by the "
+                 "kernel's 0.5x floor, not a regression.\n";
+  }
   return status;
 }

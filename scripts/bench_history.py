@@ -4,18 +4,26 @@
 Maintains results/bench_history.jsonl: one JSON object per line, each a
 recorded BENCH_core.json run —
 
-  {"label": "...", "timestamp": "...", "kernels": {name: ns_per_op, ...}}
+  {"label": "...", "timestamp": "...", "kernels": {name: ns_per_op, ...},
+   "rss": {name: peak_rss_mb, ...}}
+
+Kernels come from the "micro" array, plus — when the document has one — the
+"scale" array (bench_scale --json), recorded as "scale/<instance>" with the
+exact-sweep ns/op and each instance's peak RSS in megabytes.
 
 Two operations, combinable in one invocation (check runs first):
 
-  --append   extract the "micro" kernels from --input and append one history
-             entry (including the kernels' obs_* side channels, e.g.
-             packetsim's obs_events_per_op).
+  --append   extract the kernels from --input and append one history entry
+             (including the kernels' obs_* side channels, e.g. packetsim's
+             obs_events_per_op, and the scale instances' peak RSS).
   --check    compare --input against the most recent history entry; kernels
              more than --threshold (default 0.10 = 10%) slower are flagged,
              and any change at all in a kernel's obs_events_per_op is flagged
              — event counts are deterministic and machine-independent, so
              drift there means the algorithm changed, not the hardware.
+             Peak RSS is held to the same threshold: the scale benches exist
+             to prove O(frontier) memory, so an RSS jump is a regression even
+             when the timing is fine.
              Exits 1 on any flag unless --warn-only (timing numbers are
              machine-relative, so CI uses --warn-only; a developer chasing a
              regression on one machine runs it strict).
@@ -38,7 +46,7 @@ import sys
 
 
 def load_kernels(path):
-    """(name -> ns_per_op, name -> {obs_* fields}) from BENCH_core.json."""
+    """(name -> ns_per_op, name -> {obs_*}, name -> peak_rss_mb)."""
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
     micro = document.get("micro")
@@ -46,6 +54,7 @@ def load_kernels(path):
         raise ValueError(f"{path}: no 'micro' array")
     kernels = {}
     observed = {}
+    rss = {}
     for row in micro:
         name = row.get("name")
         ns = row.get("ns_per_op")
@@ -58,7 +67,17 @@ def load_kernels(path):
             observed[name] = obs
     if not kernels:
         raise ValueError(f"{path}: 'micro' array is empty")
-    return kernels, observed
+    # The scale array is optional (older BENCH_core.json predates it).
+    for row in document.get("scale") or []:
+        name = row.get("name")
+        ns = row.get("ns_per_op")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)):
+            raise ValueError(f"{path}: malformed scale row {row!r}")
+        kernels[f"scale/{name}"] = ns
+        peak = row.get("peak_rss_mb")
+        if isinstance(peak, (int, float)):
+            rss[f"scale/{name}"] = peak
+    return kernels, observed, rss
 
 
 def read_history(path):
@@ -77,14 +96,27 @@ def read_history(path):
     return entries
 
 
-def check(kernels, observed, history, threshold):
+def check(kernels, observed, rss, history, threshold):
     """Returns a list of regression strings vs the last history entry."""
     if not history:
         return None  # nothing to compare against — not a failure
     reference = history[-1]
     ref_kernels = reference.get("kernels", {})
     ref_observed = reference.get("obs", {})  # absent in pre-obs entries
+    ref_rss = reference.get("rss", {})  # absent in pre-scale entries
     flagged = []
+    for name, peak in sorted(rss.items()):
+        ref = ref_rss.get(name)
+        if not isinstance(ref, (int, float)) or ref <= 0:
+            continue
+        ratio = peak / ref
+        if ratio > 1.0 + threshold:
+            flagged.append(
+                f"{name}: peak RSS {peak:.0f} MB is {ratio:.2f}x the last "
+                f"recorded run ({ref:.0f} MB, label "
+                f"{reference.get('label')!r}) — the scale benches exist to "
+                "bound memory, so this is a regression even at equal speed"
+            )
     for name, ns in sorted(kernels.items()):
         ref = ref_kernels.get(name)
         if not isinstance(ref, (int, float)) or ref <= 0:
@@ -132,7 +164,7 @@ def main():
         parser.error("nothing to do: pass --append and/or --check")
 
     try:
-        kernels, observed = load_kernels(args.input)
+        kernels, observed, rss = load_kernels(args.input)
         history = read_history(args.history)
     except (OSError, ValueError) as error:
         print(f"bench_history: {error}", file=sys.stderr)
@@ -140,7 +172,7 @@ def main():
 
     status = 0
     if args.check:
-        flagged = check(kernels, observed, history, args.threshold)
+        flagged = check(kernels, observed, rss, history, args.threshold)
         if flagged is None:
             print(f"bench_history: {args.history} is empty — nothing to "
                   "compare against")
@@ -162,6 +194,8 @@ def main():
         }
         if observed:
             entry["obs"] = observed
+        if rss:
+            entry["rss"] = rss
         os.makedirs(os.path.dirname(args.history) or ".", exist_ok=True)
         with open(args.history, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_core.json, the committed perf-regression reference.
 #
-# Runs the two benchmark binaries in --json mode (fixed kernels, pinned
+# Runs the benchmark binaries in --json mode (fixed kernels, pinned
 # seeds/sizes) and assembles their output into one document:
 #   { "micro":   [ {name, ns_per_op, baseline_ns_per_op?, speedup?} ... ],
-#     "scaling": [ {kernel, threads, time_ms, identical} ... ] }
+#     "scaling": [ {kernel, threads, time_ms, identical} ... ],
+#     "scale":   [ {name, servers, ..., ns_per_op, peak_rss_mb} ... ] }
 # `micro` numbers are single-thread ns/op with in-process legacy baselines;
-# `scaling` rows re-check the determinism contract at 1..8 threads.
+# `scaling` rows re-check the determinism contract at 1..8 threads; `scale`
+# rows come from the implicit million-server sweep (bench_scale), including
+# each instance's exact-sweep ns/op and the process peak RSS.
 #
 # Timings are machine-relative: regenerate on the machine you compare on.
 # scripts/check.sh --bench diffs a fresh run against the committed file.
@@ -27,6 +30,9 @@ cmake --build --preset release -j "${JOBS:-$(nproc)}" > /dev/null
   echo ','
   echo '"scaling":'
   ./build/bench/bench_parallel_scaling --json
+  echo ','
+  echo '"scale":'
+  ./build/bench/bench_scale --json
   echo '}'
 } > "$OUT"
 

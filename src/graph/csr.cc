@@ -1,5 +1,7 @@
 #include "graph/csr.h"
 
+#include <algorithm>
+
 namespace dcn::graph {
 
 CsrView::CsrView(const Graph& graph) {
@@ -29,6 +31,7 @@ CsrView::CsrView(const Graph& graph) {
   for (NodeId node = 0; static_cast<std::size_t>(node) < nodes; ++node) {
     offsets_[node + 1] =
         offsets_[node] + static_cast<std::int32_t>(graph.Degree(node));
+    degree_bound_ = std::max(degree_bound_, graph.Degree(node));
   }
   targets_.resize(static_cast<std::size_t>(offsets_[nodes]));
   adjacent_.resize(targets_.size());

@@ -46,6 +46,15 @@ class CsrView {
   std::size_t Degree(NodeId node) const {
     return static_cast<std::size_t>(offsets_[node + 1] - offsets_[node]);
   }
+  // Maximum degree over all nodes — the TraversalGraph concept's per-node
+  // work bound (graph/implicit.h).
+  std::size_t DegreeBound() const { return degree_bound_; }
+  // Generic neighbor enumeration, the shape implicit topologies share
+  // (graph/implicit.h); inlines to the same loop as AdjacentNodes().
+  template <typename Fn>
+  void ForEachNeighbor(NodeId node, Fn&& fn) const {
+    for (const NodeId to : AdjacentNodes(node)) fn(to);
+  }
 
   NodeKind KindOf(NodeId node) const { return kinds_[node]; }
   bool IsServer(NodeId node) const { return kinds_[node] == NodeKind::kServer; }
@@ -61,6 +70,9 @@ class CsrView {
 
   std::size_t ServerCount() const { return servers_.size(); }
   std::span<const NodeId> Servers() const { return servers_; }
+  // Servers()[i] — the indexed accessor the TraversalGraph concept uses so
+  // implicit topologies (whose server ids are arithmetic) can match it.
+  NodeId ServerIdAt(std::size_t i) const { return servers_[i]; }
   // Dense rank of `node` among servers (its position in Servers()), or -1 for
   // switches. Lets per-server accumulators use flat arrays instead of maps.
   std::int32_t ServerIndexOf(NodeId node) const { return server_index_[node]; }
@@ -82,6 +94,7 @@ class CsrView {
   std::vector<std::pair<NodeId, NodeId>> endpoints_;
   std::vector<NodeId> servers_;
   std::vector<std::int32_t> server_index_;
+  std::size_t degree_bound_ = 0;
 };
 
 }  // namespace dcn::graph

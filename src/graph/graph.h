@@ -104,7 +104,11 @@ class FailureSet {
  public:
   FailureSet() = default;
   explicit FailureSet(const Graph& graph)
-      : node_dead_(graph.NodeCount(), false), edge_dead_(graph.EdgeCount(), false) {}
+      : FailureSet(graph.NodeCount(), graph.EdgeCount()) {}
+  // For implicit (never materialized) graphs, where the node and link counts
+  // are known arithmetically but no Graph exists.
+  FailureSet(std::size_t nodes, std::size_t edges)
+      : node_dead_(nodes, false), edge_dead_(edges, false) {}
 
   void KillNode(NodeId node);
   void KillEdge(EdgeId edge);

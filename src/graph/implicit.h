@@ -1,0 +1,106 @@
+// Compile-time graph concept for traversals that never materialize edges.
+//
+// The cube topologies' neighbor relations are pure address arithmetic, so a
+// BFS frontier is all the state a sweep really needs — the O(E) adjacency
+// arrays a CsrView carries exist only to cache what a few divisions recompute.
+// TraversalGraph names the surface the traversal kernels actually consume:
+// node/server counts, an O(1) per-node degree bound, and an allocation-free
+// `ForEachNeighbor(node, fn)` enumeration. CsrView models it (backed by its
+// packed arrays); topo::ImplicitCube models it (backed by digit algebra), and
+// both enumerate neighbors in the SAME order — the materialized builder's
+// insertion order — so every traversal result is bit-identical across the two
+// representations (pinned by tests/test_implicit.cc).
+//
+// Determinism contract: a model's ForEachNeighbor must be a pure function of
+// (instance, node) with a fixed enumeration order. Kernels add no ordering of
+// their own beyond that and the deterministic parallel merge discipline
+// (common/parallel.h), so results are independent of DCN_THREADS and of
+// whether the graph was ever built.
+//
+// Failure overlays: implicit graphs have no EdgeIds, so only node failures
+// apply — kernels taking a FailureSet through this concept require
+// DeadEdgeCount() == 0. Edge-failure sweeps stay on the CsrView overloads
+// (bfs.h / msbfs.h), which HasAdjacencySpans lets generic code detect.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "graph/graph.h"
+#include "graph/workspace.h"
+
+namespace dcn::graph {
+
+namespace implicit_detail {
+
+// Concept probe for ForEachNeighbor: a named functor rather than a lambda
+// (lambdas inside requires-expressions are brittle across compilers).
+struct NeighborProbe {
+  void operator()(NodeId) const {}
+};
+
+}  // namespace implicit_detail
+
+// The surface a traversal kernel needs; O(1) state per call, no edge lists.
+template <typename G>
+concept TraversalGraph =
+    requires(const G& g, NodeId node, std::size_t i,
+             implicit_detail::NeighborProbe probe) {
+      { g.NodeCount() } -> std::convertible_to<std::size_t>;
+      { g.ServerCount() } -> std::convertible_to<std::size_t>;
+      { g.ServerIdAt(i) } -> std::convertible_to<NodeId>;
+      { g.IsServer(node) } -> std::convertible_to<bool>;
+      { g.DegreeBound() } -> std::convertible_to<std::size_t>;
+      g.ForEachNeighbor(node, probe);
+    };
+
+// Refinement for materialized views: per-edge ids exist (so edge-failure
+// overlays work) and neighbors are addressable as flat spans.
+template <typename G>
+concept HasAdjacencySpans =
+    TraversalGraph<G> && requires(const G& g, NodeId node) {
+      { g.AdjacentNodes(node) } -> std::convertible_to<std::span<const NodeId>>;
+      { g.Neighbors(node) } -> std::convertible_to<std::span<const HalfEdge>>;
+    };
+
+// Per-source BFS over any TraversalGraph — the generic twin of the CsrView
+// overload in bfs.h (which stays the exact-match overload for CsrView
+// callers and also handles edge failures). Same contract: distances land in
+// `ws`, returns the reached count, ws.VisitOrder() lists reached nodes in
+// settle order. With `failures`, only node failures are honored (see above).
+template <TraversalGraph G>
+std::size_t BfsDistances(const G& g, NodeId src, TraversalWorkspace& ws,
+                         const FailureSet* failures = nullptr) {
+  DCN_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < g.NodeCount(),
+              "BFS source out of range");
+  ws.Begin(g.NodeCount());
+  if (failures != nullptr) {
+    DCN_REQUIRE(failures->DeadEdgeCount() == 0,
+                "implicit graphs have no edge ids; only node failures apply");
+    if (failures->NodeDead(src)) return 0;
+  }
+  std::vector<NodeId>& queue = ws.Frontier();
+  ws.Settle(src, 0);
+  queue.push_back(src);
+  // Level-tracked distance-only sweep, mirroring the CsrView healthy path:
+  // the queue is level-ordered, so the boundary index replaces a distance
+  // read per dequeued node.
+  int next = 1;
+  std::size_t level_end = queue.size();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    if (head == level_end) {
+      ++next;
+      level_end = queue.size();
+    }
+    g.ForEachNeighbor(queue[head], [&](const NodeId to) {
+      if (failures != nullptr && failures->NodeDead(to)) return;
+      if (ws.Settle(to, next)) queue.push_back(to);
+    });
+  }
+  return queue.size();
+}
+
+}  // namespace dcn::graph

@@ -1,192 +1,25 @@
 #include "graph/msbfs.h"
 
-#include <array>
-#include <limits>
-
-#include "common/parallel.h"
-
 namespace dcn::graph {
 
-namespace {
-
-// Applies `fn(lane)` to every set bit of `word`.
-template <typename Fn>
-void ForEachLane(std::uint64_t word, Fn&& fn) {
-  while (word != 0) {
-    fn(static_cast<std::size_t>(std::countr_zero(word)));
-    word &= word - 1;
-  }
-}
-
-}  // namespace
+// The CsrView signatures forward to the TraversalGraph templates (msbfs.h);
+// keeping these non-template definitions pins the overloads existing callers
+// resolve to and keeps one instantiation of the CsrView sweeps in this TU.
 
 std::vector<int> MultiSourceDistances(const CsrView& csr,
                                       std::span<const NodeId> sources,
                                       const FailureSet* failures) {
-  const std::size_t nodes = csr.NodeCount();
-  std::vector<int> dist(sources.size() * nodes, kUnreachable);
-  MsBfsScope ws;
-  for (std::size_t base = 0; base < sources.size(); base += kMsBfsLanes) {
-    const auto block =
-        sources.subspan(base, std::min(kMsBfsLanes, sources.size() - base));
-    MultiSourceBfs(
-        csr, block, *ws,
-        [&](int level, NodeId node, std::uint64_t bits) {
-          ForEachLane(bits, [&](std::size_t lane) {
-            dist[(base + lane) * nodes + static_cast<std::size_t>(node)] =
-                level;
-          });
-        },
-        failures);
-  }
-  return dist;
+  return MultiSourceDistances<CsrView>(csr, sources, failures);
 }
 
 std::vector<int> ServerEccentricities(const CsrView& csr,
                                       std::span<const NodeId> sources,
                                       const FailureSet* failures) {
-  std::vector<int> ecc(sources.size(), kUnreachable);
-  MsBfsScope ws;
-  for (std::size_t base = 0; base < sources.size(); base += kMsBfsLanes) {
-    const auto block =
-        sources.subspan(base, std::min(kMsBfsLanes, sources.size() - base));
-    // Rather than touching per-lane state for every set bit, OR each level's
-    // server hits into one word and flush it when the level advances: the
-    // last level a lane's bit appears in is its eccentricity.
-    int current_level = 0;
-    std::uint64_t level_bits = 0;
-    const auto flush = [&] {
-      ForEachLane(level_bits,
-                  [&](std::size_t lane) { ecc[base + lane] = current_level; });
-    };
-    MultiSourceBfs(
-        csr, block, *ws,
-        [&](int level, NodeId node, std::uint64_t bits) {
-          if (!csr.IsServer(node)) return;
-          if (level != current_level) {
-            flush();
-            current_level = level;
-            level_bits = 0;
-          }
-          level_bits |= bits;
-        },
-        failures);
-    flush();
-  }
-  return ecc;
+  return ServerEccentricities<CsrView>(csr, sources, failures);
 }
 
 AllPairsSweepStats AllPairsDistanceSweep(const CsrView& csr) {
-  const auto servers = csr.Servers();
-  AllPairsSweepStats stats;
-  if (servers.empty()) return stats;
-  const std::size_t blocks =
-      (servers.size() + kMsBfsLanes - 1) / kMsBfsLanes;
-
-  // Everything in a partial is an exact integer, so the fixed block split +
-  // ascending merge order make the reduction bit-identical for any thread
-  // count — and identical to the per-source sweep it replaced.
-  struct Partial {
-    std::int64_t total = 0;       // sum of distances over reached pairs
-    std::uint64_t reached = 0;    // (source, server) pairs incl. source itself
-    std::uint64_t lanes = 0;      // sources processed (to discount self pairs)
-    int diameter = 0;
-    int radius = std::numeric_limits<int>::max();
-    bool connected = true;
-    std::vector<std::uint64_t> at_distance;
-  };
-  Partial merged = ParallelMapReduce(
-      blocks, /*chunk=*/1, Partial{},
-      [&](std::size_t begin, std::size_t end) {
-        Partial partial;
-        MsBfsScope ws;
-        for (std::size_t b = begin; b < end; ++b) {
-          const auto block = servers.subspan(
-              b * kMsBfsLanes,
-              std::min(kMsBfsLanes, servers.size() - b * kMsBfsLanes));
-          partial.lanes += block.size();
-
-          // Per-lane eccentricity via the level-word flush trick (see
-          // ServerEccentricities). The per-visit work is kept to an OR and a
-          // popcount into register accumulators; everything touching memory
-          // (histogram bucket, totals, diameter) happens once per level at
-          // the flush.
-          std::array<int, kMsBfsLanes> ecc{};
-          int current_level = 0;
-          std::uint64_t level_bits = 0;
-          std::uint64_t level_count = 0;
-          const auto flush = [&] {
-            if (level_count == 0) return;
-            ForEachLane(level_bits,
-                        [&](std::size_t lane) { ecc[lane] = current_level; });
-            const auto d = static_cast<std::size_t>(current_level);
-            if (partial.at_distance.size() <= d) {
-              partial.at_distance.resize(d + 1, 0);
-            }
-            partial.at_distance[d] += level_count;
-            partial.total += static_cast<std::int64_t>(current_level) *
-                             static_cast<std::int64_t>(level_count);
-            partial.reached += level_count;
-            partial.diameter = std::max(partial.diameter, current_level);
-          };
-          MultiSourceBfs(csr, block, *ws,
-                         [&](int level, NodeId node, std::uint64_t bits) {
-                           if (!csr.IsServer(node)) return;
-                           if (level != current_level) {
-                             flush();
-                             current_level = level;
-                             level_bits = 0;
-                             level_count = 0;
-                           }
-                           level_bits |= bits;
-                           level_count += static_cast<std::uint64_t>(
-                               std::popcount(bits));
-                         });
-          flush();
-          for (std::size_t lane = 0; lane < block.size(); ++lane) {
-            partial.radius = std::min(partial.radius, ecc[lane]);
-          }
-          // Connectivity: every lane of this block must have reached every
-          // server — one word compare per server.
-          const std::uint64_t mask = MsBfsLaneMask(block.size());
-          for (const NodeId server : servers) {
-            if ((ws->SeenWord(server) & mask) != mask) {
-              partial.connected = false;
-              break;
-            }
-          }
-        }
-        return partial;
-      },
-      [](Partial acc, Partial partial) {
-        acc.total += partial.total;
-        acc.reached += partial.reached;
-        acc.lanes += partial.lanes;
-        acc.diameter = std::max(acc.diameter, partial.diameter);
-        acc.radius = std::min(acc.radius, partial.radius);
-        acc.connected = acc.connected && partial.connected;
-        if (acc.at_distance.size() < partial.at_distance.size()) {
-          acc.at_distance.resize(partial.at_distance.size(), 0);
-        }
-        for (std::size_t d = 0; d < partial.at_distance.size(); ++d) {
-          acc.at_distance[d] += partial.at_distance[d];
-        }
-        return acc;
-      });
-
-  stats.distance_total = merged.total;
-  stats.pairs = merged.reached - merged.lanes;  // drop the distance-0 selves
-  stats.diameter = merged.diameter;
-  stats.radius =
-      merged.radius == std::numeric_limits<int>::max() ? 0 : merged.radius;
-  stats.connected = merged.connected;
-  stats.pairs_at_distance = std::move(merged.at_distance);
-  if (!stats.pairs_at_distance.empty()) {
-    // Level 0 counted each source reaching itself; the histogram is over
-    // ordered pairs, where distance 0 cannot occur.
-    stats.pairs_at_distance[0] -= merged.lanes;
-  }
-  return stats;
+  return AllPairsDistanceSweep<CsrView>(csr);
 }
 
 }  // namespace dcn::graph

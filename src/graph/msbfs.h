@@ -27,17 +27,31 @@
 // block order via ParallelMapReduce — results are bit-identical for any
 // thread count. tests/test_msbfs.cc pins MS-BFS distances to per-source
 // BFS() on every topology family, with and without failures.
+//
+// The kernel and the sweep aggregates are templates over any TraversalGraph
+// (graph/implicit.h): a CsrView, or an implicit topology whose neighbors are
+// recomputed by address arithmetic. Both traversal directions run through
+// ForEachNeighbor and compute the identical frontier, so direction
+// optimization stays available without a CSR; only the edge-failure scatter
+// needs per-edge ids and is gated on HasAdjacencySpans (implicit graphs
+// accept node failures only). The CsrView signatures below are kept as
+// exact-match overloads — existing callers resolve to them unchanged, and
+// tests/test_implicit.cc pins implicit results bit-identical to them.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/implicit.h"
 #include "graph/workspace.h"
 #include "obs/obs.h"
 
@@ -53,6 +67,15 @@ namespace msbfs_detail {
 // what is left. Swept empirically on the ABCCC(4,3,2) all-pairs kernel:
 // 6 beat 2/4/16/32 with a shallow optimum.
 inline constexpr std::size_t kBottomUpDivisor = 6;
+
+// Applies `fn(lane)` to every set bit of `word`.
+template <typename Fn>
+void ForEachLane(std::uint64_t word, Fn&& fn) {
+  while (word != 0) {
+    fn(static_cast<std::size_t>(std::countr_zero(word)));
+    word &= word - 1;
+  }
+}
 }  // namespace msbfs_detail
 
 // All-lanes-set mask for a batch of `lanes` sources (lanes in [0, 64]).
@@ -77,14 +100,20 @@ inline std::uint64_t MsBfsLaneMask(std::size_t lanes) {
 // With `failures`, traversal skips dead nodes/links exactly like the
 // single-source BfsDistances; direction optimization is disabled because the
 // bottom-up gather cannot consult per-edge liveness through the edge-blind
-// adjacency array (failure sweeps are sparse frontiers in practice).
-template <typename Visit>
-void MultiSourceBfs(const CsrView& csr, std::span<const NodeId> sources,
+// adjacency array (failure sweeps are sparse frontiers in practice). Models
+// without adjacency spans (implicit topologies) have no edge ids at all, so
+// there `failures` must carry node failures only.
+template <TraversalGraph G, typename Visit>
+void MultiSourceBfs(const G& g, std::span<const NodeId> sources,
                     MsBfsWorkspace& ws, Visit&& visit,
                     const FailureSet* failures = nullptr) {
   DCN_REQUIRE(sources.size() <= kMsBfsLanes,
               "MultiSourceBfs batch exceeds 64 lanes");
-  const std::size_t nodes = csr.NodeCount();
+  if constexpr (!HasAdjacencySpans<G>) {
+    DCN_REQUIRE(failures == nullptr || failures->DeadEdgeCount() == 0,
+                "implicit graphs have no edge ids; only node failures apply");
+  }
+  const std::size_t nodes = g.NodeCount();
   ws.Begin(nodes);
   std::uint64_t* const seen = ws.Seen();
   // `cur` is the current level's frontier, `nxt` the one being built; they
@@ -162,9 +191,7 @@ void MultiSourceBfs(const CsrView& csr, std::span<const NodeId> sources,
         const std::uint64_t miss = live & ~seen[node];
         if (miss == 0) continue;
         std::uint64_t acc = 0;
-        for (const NodeId nb : csr.AdjacentNodes(node)) {
-          acc |= cur[nb];
-        }
+        g.ForEachNeighbor(node, [&](const NodeId nb) { acc |= cur[nb]; });
         const std::uint64_t add = acc & miss;
         if (add != 0) {
           seen[node] |= add;
@@ -184,19 +211,28 @@ void MultiSourceBfs(const CsrView& csr, std::span<const NodeId> sources,
       if (failures == nullptr) {
         for (const NodeId node : *active) {
           const std::uint64_t word = cur[node];
-          for (const NodeId nb : csr.AdjacentNodes(node)) {
+          g.ForEachNeighbor(node, [&](const NodeId nb) {
             if (nxt[nb] == 0) candidates.push_back(nb);
             nxt[nb] |= word;
+          });
+        }
+      } else if constexpr (HasAdjacencySpans<G>) {
+        for (const NodeId node : *active) {
+          const std::uint64_t word = cur[node];
+          for (const HalfEdge& half : g.Neighbors(node)) {
+            if (!failures->HalfEdgeUsable(half)) continue;
+            if (nxt[half.to] == 0) candidates.push_back(half.to);
+            nxt[half.to] |= word;
           }
         }
       } else {
         for (const NodeId node : *active) {
           const std::uint64_t word = cur[node];
-          for (const HalfEdge& half : csr.Neighbors(node)) {
-            if (!failures->HalfEdgeUsable(half)) continue;
-            if (nxt[half.to] == 0) candidates.push_back(half.to);
-            nxt[half.to] |= word;
-          }
+          g.ForEachNeighbor(node, [&](const NodeId nb) {
+            if (failures->NodeDead(nb)) return;
+            if (nxt[nb] == 0) candidates.push_back(nb);
+            nxt[nb] |= word;
+          });
         }
       }
       // Claim pass over the touched nodes, ascending — hence the visit order.
@@ -223,21 +259,72 @@ void MultiSourceBfs(const CsrView& csr, std::span<const NodeId> sources,
 
 // Distances (in links) from every source to every node, batching the sources
 // through MultiSourceBfs in 64-lane blocks. Row-major: the returned vector
-// holds sources.size() * csr.NodeCount() entries and
+// holds sources.size() * g.NodeCount() entries and
 // result[i * NodeCount() + node] is the distance from sources[i] to node,
 // kUnreachable where no live path exists. Any source count is accepted;
-// each row equals BfsDistances(csr, sources[i], ...) exactly.
-std::vector<int> MultiSourceDistances(const CsrView& csr,
+// each row equals BfsDistances(g, sources[i], ...) exactly.
+template <TraversalGraph G>
+std::vector<int> MultiSourceDistances(const G& g,
                                       std::span<const NodeId> sources,
-                                      const FailureSet* failures = nullptr);
+                                      const FailureSet* failures = nullptr) {
+  const std::size_t nodes = g.NodeCount();
+  std::vector<int> dist(sources.size() * nodes, kUnreachable);
+  MsBfsScope ws;
+  for (std::size_t base = 0; base < sources.size(); base += kMsBfsLanes) {
+    const auto block =
+        sources.subspan(base, std::min(kMsBfsLanes, sources.size() - base));
+    MultiSourceBfs(
+        g, block, *ws,
+        [&](int level, NodeId node, std::uint64_t bits) {
+          msbfs_detail::ForEachLane(bits, [&](std::size_t lane) {
+            dist[(base + lane) * nodes + static_cast<std::size_t>(node)] =
+                level;
+          });
+        },
+        failures);
+  }
+  return dist;
+}
 
 // Eccentricity of each source restricted to SERVER targets (the distance
 // convention of the diameter tables): result[i] is the max distance from
 // sources[i] to any reachable server, or kUnreachable for a source that is
 // dead under `failures`. One 64-lane batch per block of sources.
-std::vector<int> ServerEccentricities(const CsrView& csr,
+template <TraversalGraph G>
+std::vector<int> ServerEccentricities(const G& g,
                                       std::span<const NodeId> sources,
-                                      const FailureSet* failures = nullptr);
+                                      const FailureSet* failures = nullptr) {
+  std::vector<int> ecc(sources.size(), kUnreachable);
+  MsBfsScope ws;
+  for (std::size_t base = 0; base < sources.size(); base += kMsBfsLanes) {
+    const auto block =
+        sources.subspan(base, std::min(kMsBfsLanes, sources.size() - base));
+    // Rather than touching per-lane state for every set bit, OR each level's
+    // server hits into one word and flush it when the level advances: the
+    // last level a lane's bit appears in is its eccentricity.
+    int current_level = 0;
+    std::uint64_t level_bits = 0;
+    const auto flush = [&] {
+      msbfs_detail::ForEachLane(level_bits, [&](std::size_t lane) {
+        ecc[base + lane] = current_level;
+      });
+    };
+    MultiSourceBfs(
+        g, block, *ws,
+        [&](int level, NodeId node, std::uint64_t bits) {
+          if (!g.IsServer(node)) return;
+          if (level != current_level) {
+            flush();
+            current_level = level;
+            level_bits = 0;
+          }
+          level_bits |= bits;
+        },
+        failures);
+    flush();
+  }
+  return ecc;
+}
 
 // Aggregates of the full server-to-server distance matrix, computed without
 // materializing it: the backing kernel for ExactServerPathStats and the
@@ -255,7 +342,161 @@ struct AllPairsSweepStats {
   std::vector<std::uint64_t> pairs_at_distance;
 };
 
+namespace msbfs_detail {
+
+// Shared sweep engine: sources given as (count, source_at(i)). Block i covers
+// sources [i*64, ...); blocks are copied into a fixed per-block buffer — the
+// same values in the same order the span-based sweep used — and merged in
+// ascending block order, so results are bit-identical at any thread count and
+// for any source container.
+template <TraversalGraph G, typename SourceAt>
+AllPairsSweepStats SweepFromSourceFn(const G& g, std::size_t source_count,
+                                     SourceAt&& source_at) {
+  AllPairsSweepStats stats;
+  if (source_count == 0) return stats;
+  const std::size_t blocks = (source_count + kMsBfsLanes - 1) / kMsBfsLanes;
+
+  // Everything in a partial is an exact integer, so the fixed block split +
+  // ascending merge order make the reduction bit-identical for any thread
+  // count — and identical to the per-source sweep it replaced.
+  struct Partial {
+    std::int64_t total = 0;       // sum of distances over reached pairs
+    std::uint64_t reached = 0;    // (source, server) pairs incl. source itself
+    std::uint64_t lanes = 0;      // sources processed (to discount self pairs)
+    int diameter = 0;
+    int radius = std::numeric_limits<int>::max();
+    bool connected = true;
+    std::vector<std::uint64_t> at_distance;
+  };
+  Partial merged = ParallelMapReduce(
+      blocks, /*chunk=*/1, Partial{},
+      [&](std::size_t begin, std::size_t end) {
+        Partial partial;
+        MsBfsScope ws;
+        std::array<NodeId, kMsBfsLanes> block{};
+        for (std::size_t b = begin; b < end; ++b) {
+          const std::size_t first = b * kMsBfsLanes;
+          const std::size_t lanes =
+              std::min(kMsBfsLanes, source_count - first);
+          for (std::size_t i = 0; i < lanes; ++i) {
+            block[i] = source_at(first + i);
+          }
+          partial.lanes += lanes;
+
+          // Per-lane eccentricity via the level-word flush trick (see
+          // ServerEccentricities). The per-visit work is kept to an OR and a
+          // popcount into register accumulators; everything touching memory
+          // (histogram bucket, totals, diameter) happens once per level at
+          // the flush.
+          std::array<int, kMsBfsLanes> ecc{};
+          int current_level = 0;
+          std::uint64_t level_bits = 0;
+          std::uint64_t level_count = 0;
+          const auto flush = [&] {
+            if (level_count == 0) return;
+            ForEachLane(level_bits,
+                        [&](std::size_t lane) { ecc[lane] = current_level; });
+            const auto d = static_cast<std::size_t>(current_level);
+            if (partial.at_distance.size() <= d) {
+              partial.at_distance.resize(d + 1, 0);
+            }
+            partial.at_distance[d] += level_count;
+            partial.total += static_cast<std::int64_t>(current_level) *
+                             static_cast<std::int64_t>(level_count);
+            partial.reached += level_count;
+            partial.diameter = std::max(partial.diameter, current_level);
+          };
+          MultiSourceBfs(g, std::span<const NodeId>{block.data(), lanes}, *ws,
+                         [&](int level, NodeId node, std::uint64_t bits) {
+                           if (!g.IsServer(node)) return;
+                           if (level != current_level) {
+                             flush();
+                             current_level = level;
+                             level_bits = 0;
+                             level_count = 0;
+                           }
+                           level_bits |= bits;
+                           level_count += static_cast<std::uint64_t>(
+                               std::popcount(bits));
+                         });
+          flush();
+          for (std::size_t lane = 0; lane < lanes; ++lane) {
+            partial.radius = std::min(partial.radius, ecc[lane]);
+          }
+          // Connectivity: every lane of this block must have reached every
+          // server — one word compare per server.
+          const std::uint64_t mask = MsBfsLaneMask(lanes);
+          for (std::size_t i = 0; i < g.ServerCount(); ++i) {
+            if ((ws->SeenWord(g.ServerIdAt(i)) & mask) != mask) {
+              partial.connected = false;
+              break;
+            }
+          }
+        }
+        return partial;
+      },
+      [](Partial acc, Partial partial) {
+        acc.total += partial.total;
+        acc.reached += partial.reached;
+        acc.lanes += partial.lanes;
+        acc.diameter = std::max(acc.diameter, partial.diameter);
+        acc.radius = std::min(acc.radius, partial.radius);
+        acc.connected = acc.connected && partial.connected;
+        if (acc.at_distance.size() < partial.at_distance.size()) {
+          acc.at_distance.resize(partial.at_distance.size(), 0);
+        }
+        for (std::size_t d = 0; d < partial.at_distance.size(); ++d) {
+          acc.at_distance[d] += partial.at_distance[d];
+        }
+        return acc;
+      });
+
+  stats.distance_total = merged.total;
+  stats.pairs = merged.reached - merged.lanes;  // drop the distance-0 selves
+  stats.diameter = merged.diameter;
+  stats.radius =
+      merged.radius == std::numeric_limits<int>::max() ? 0 : merged.radius;
+  stats.connected = merged.connected;
+  stats.pairs_at_distance = std::move(merged.at_distance);
+  if (!stats.pairs_at_distance.empty()) {
+    // Level 0 counted each source reaching itself; the histogram is over
+    // ordered pairs, where distance 0 cannot occur.
+    stats.pairs_at_distance[0] -= merged.lanes;
+  }
+  return stats;
+}
+
+}  // namespace msbfs_detail
+
 // One MS-BFS block per 64 servers, parallelized across blocks.
+template <TraversalGraph G>
+AllPairsSweepStats AllPairsDistanceSweep(const G& g) {
+  return msbfs_detail::SweepFromSourceFn(
+      g, g.ServerCount(), [&g](std::size_t i) { return g.ServerIdAt(i); });
+}
+
+// The same aggregates restricted to an explicit source list (each entry one
+// lane, duplicates allowed): `pairs`/`distance_total`/`radius` are over the
+// given sources only, `connected` means every source reached every server.
+// Backs the sampled sweeps and — with one source per role — the
+// symmetry-reduced exact stats (metrics/path_metrics.h).
+template <TraversalGraph G>
+AllPairsSweepStats DistanceSweepFromSources(const G& g,
+                                            std::span<const NodeId> sources) {
+  return msbfs_detail::SweepFromSourceFn(
+      g, sources.size(), [sources](std::size_t i) { return sources[i]; });
+}
+
+// --- CsrView overloads (the exact-match signatures existing callers use) ---
+
+std::vector<int> MultiSourceDistances(const CsrView& csr,
+                                      std::span<const NodeId> sources,
+                                      const FailureSet* failures = nullptr);
+
+std::vector<int> ServerEccentricities(const CsrView& csr,
+                                      std::span<const NodeId> sources,
+                                      const FailureSet* failures = nullptr);
+
 AllPairsSweepStats AllPairsDistanceSweep(const CsrView& csr);
 
 }  // namespace dcn::graph

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "topology/implicit.h"
 #include "topology/topology.h"
 
 namespace dcn::metrics {
@@ -32,6 +33,21 @@ struct ExactPathStats {
 // an exact integer, so results are bit-identical for any thread count.
 ExactPathStats ExactServerPathStats(const topo::Topology& net);
 
+// Same sweep over an implicit cube: no adjacency arrays are ever built, so
+// the only O(V) state is the traversal workspaces. Bit-identical to the
+// materialized overload on equal parameters (tests/test_implicit.cc).
+ExactPathStats ExactServerPathStats(const topo::ImplicitCube& net);
+
+// Exact path stats from role symmetry: translating every digit of a row
+// address by a fixed offset is an automorphism of the cube that acts
+// transitively on rows, so the multiset of distances out of a server depends
+// only on its role j. Sweeping the m = RowLength() representatives
+// ⟨0...0; j⟩ and scaling every count by RowCount() reproduces the full
+// ExactServerPathStats result exactly (including the average, computed from
+// the scaled integer totals) in O(m/64) BFS passes instead of O(S/64) —
+// the trick that makes exact million-server diameters interactive.
+ExactPathStats SymmetryReducedPathStats(const topo::ImplicitCube& net);
+
 struct SampledPathStats {
   IntHistogram shortest;  // BFS lengths of the sampled pairs
   IntHistogram routed;    // native-routing lengths of the same pairs
@@ -48,6 +64,16 @@ struct SampledPathStats {
 // each sample draws from its own rng.Fork(index) stream, so the result is a
 // pure function of (net, counts, rng state) — the same for any thread count.
 SampledPathStats SamplePathStats(const topo::Topology& net,
+                                 std::size_t source_samples,
+                                 std::size_t pairs_per_source, Rng& rng);
+
+// Implicit-cube overload. Destinations are drawn before the BFS pass (the
+// same position in each per-sample stream, so results stay bit-identical
+// with the materialized overload) and only the sampled destinations'
+// distances are recorded — O(lanes * pairs) instead of a lane-major
+// distance matrix, which at million-server scale is the difference between
+// kilobytes and gigabytes.
+SampledPathStats SamplePathStats(const topo::ImplicitCube& net,
                                  std::size_t source_samples,
                                  std::size_t pairs_per_source, Rng& rng);
 

@@ -8,14 +8,18 @@
 #include "graph/msbfs.h"
 
 namespace dcn::metrics {
+namespace {
 
-double PairDisconnectionFraction(const topo::Topology& net,
-                                 const graph::FailureSet& failures,
-                                 std::size_t sample_pairs, Rng& rng) {
+// Shared engine over any TraversalGraph (CsrView, ImplicitCube). For graphs
+// without adjacency spans the nested traversals require an edge-id-free
+// failure set (graph/implicit.h); node kills behave identically either way.
+template <typename G>
+double PairDisconnectionOver(const G& g, const graph::FailureSet& failures,
+                             std::size_t sample_pairs, Rng& rng) {
   DCN_REQUIRE(sample_pairs > 0, "need at least one sampled pair");
-  const graph::CsrView& csr = net.Network().Csr();
   std::vector<graph::NodeId> alive;
-  for (const graph::NodeId server : csr.Servers()) {
+  for (std::size_t i = 0; i < g.ServerCount(); ++i) {
+    const graph::NodeId server = g.ServerIdAt(i);
     if (!failures.NodeDead(server)) alive.push_back(server);
   }
   if (alive.size() < 2) return 0.0;
@@ -59,7 +63,7 @@ double PairDisconnectionFraction(const topo::Topology& net,
           for (std::size_t s = begin; s < end; ++s) {
             Rng trial_rng = base.Fork(s);
             const graph::NodeId src = alive[trial_rng.NextUint64(alive.size())];
-            graph::BfsDistances(csr, src, *ws, &failures);
+            graph::BfsDistances(g, src, *ws, &failures);
             for (std::size_t p = 0; p < pairs_per_source; ++p) {
               graph::NodeId dst = src;
               while (dst == src) dst = alive[trial_rng.NextUint64(alive.size())];
@@ -92,7 +96,7 @@ double PairDisconnectionFraction(const topo::Topology& net,
                   alive[trial_rngs.back().NextUint64(alive.size())]);
             }
             graph::MultiSourceBfs(
-                csr, block_sources, *ws,
+                g, block_sources, *ws,
                 [](int, graph::NodeId, std::uint64_t) {}, &failures);
             for (std::size_t s = 0; s < lanes; ++s) {
               Rng& trial_rng = trial_rngs[s];
@@ -112,6 +116,23 @@ double PairDisconnectionFraction(const topo::Topology& net,
   }
   return static_cast<double>(merged.disconnected) /
          static_cast<double>(merged.measured);
+}
+
+}  // namespace
+
+double PairDisconnectionFraction(const topo::Topology& net,
+                                 const graph::FailureSet& failures,
+                                 std::size_t sample_pairs, Rng& rng) {
+  // Built (or fetched from cache) before the traversals so every worker
+  // shares one snapshot.
+  return PairDisconnectionOver(net.Network().Csr(), failures, sample_pairs,
+                               rng);
+}
+
+double PairDisconnectionFraction(const topo::ImplicitCube& net,
+                                 const graph::FailureSet& failures,
+                                 std::size_t sample_pairs, Rng& rng) {
+  return PairDisconnectionOver(net, failures, sample_pairs, rng);
 }
 
 double ServerLossFraction(const topo::Topology& net,

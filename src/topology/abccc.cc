@@ -11,8 +11,12 @@ void AbcccParams::Validate() const {
   DCN_REQUIRE(n >= 2, "ABCCC requires level-switch radix n >= 2");
   DCN_REQUIRE(k >= 0, "ABCCC requires order k >= 0");
   DCN_REQUIRE(c >= 2, "ABCCC requires servers with c >= 2 NIC ports");
-  // Evaluate the largest count to trigger the overflow check early.
+  // Evaluate the derived counts to trigger the overflow checks early: link
+  // ids must fit 64 bits too (a huge-but-server-valid shape whose link count
+  // wraps would corrupt every downstream total). Pure arithmetic — validating
+  // a petascale instance allocates nothing.
   (void)ServerTotal();
+  (void)LinkTotal();
 }
 
 std::pair<int, int> AbcccParams::AgentLevels(int role) const {
@@ -43,15 +47,17 @@ std::uint64_t AbcccParams::CrossbarTotal() const {
 }
 
 std::uint64_t AbcccParams::LevelSwitchTotal() const {
-  return static_cast<std::uint64_t>(k + 1) *
-         CheckedPow(static_cast<std::uint64_t>(n), static_cast<unsigned>(k));
+  return CheckedMul(
+      static_cast<std::uint64_t>(k + 1),
+      CheckedPow(static_cast<std::uint64_t>(n), static_cast<unsigned>(k)));
 }
 
 std::uint64_t AbcccParams::LinkTotal() const {
   // Every level switch has n links; every server has one crossbar link when
   // crossbars exist.
-  return LevelSwitchTotal() * static_cast<std::uint64_t>(n) +
-         (HasCrossbars() ? ServerTotal() : 0);
+  return CheckedAdd(
+      CheckedMul(LevelSwitchTotal(), static_cast<std::uint64_t>(n)),
+      HasCrossbars() ? ServerTotal() : 0);
 }
 
 Abccc::Abccc(AbcccParams params) : params_(params) {
@@ -99,20 +105,18 @@ void Abccc::Build() {
   }
 
   // Level-switch links: switch (level, b) connects the n agents whose digit
-  // vectors are b with value d spliced in at position `level`.
-  Digits digits(static_cast<std::size_t>(params_.k + 1));
+  // vectors are b with value d spliced in at position `level` — the splice is
+  // pure address arithmetic (IndexInsertingDigit), no digit temporaries.
   for (int level = 0; level <= params_.k; ++level) {
     const int agent = params_.AgentRole(level);
     for (std::uint64_t b = 0; b < level_stride_; ++b) {
-      const Digits rest = IndexToDigits(b, params_.n, params_.k);
-      for (int i = 0; i < level; ++i) digits[i] = rest[i];
-      for (int i = level + 1; i <= params_.k; ++i) digits[i] = rest[i - 1];
       const graph::NodeId sw =
           static_cast<graph::NodeId>(level_switch_base_ +
                                      static_cast<std::uint64_t>(level) * level_stride_ + b);
       for (int d = 0; d < params_.n; ++d) {
-        digits[level] = d;
-        g.AddEdge(ServerAt(digits, agent), sw);
+        g.AddEdge(
+            ServerAtRow(IndexInsertingDigit(b, params_.n, level, d), agent),
+            sw);
       }
     }
   }

@@ -20,6 +20,28 @@ std::uint64_t DigitsToIndex(std::span<const int> digits, int base);
 // Inverse of DigitsToIndex for a fixed digit count.
 Digits IndexToDigits(std::uint64_t index, int base, int count);
 
+// Allocation-free twin of IndexToDigits: writes out.size() digits into `out`.
+// Builder hot loops and per-thread scratch reuse one buffer across calls.
+void IndexToDigitsInto(std::uint64_t index, int base, std::span<int> out);
+
+// The level-`pos` digit of `index`: (index / base^pos) % base.
+int DigitAt(std::uint64_t index, int base, int pos);
+
+// `index` with its level-`pos` digit replaced by `digit` — the in-place
+// single-digit update (increment/decrement one level digit without a digit
+// vector round-trip).
+std::uint64_t IndexWithDigit(std::uint64_t index, int base, int pos, int digit);
+
+// DigitsToIndexSkipping computed directly on the packed index, no temporary
+// digit vector: `index` with its level-`pos` digit removed.
+std::uint64_t IndexSkippingDigit(std::uint64_t index, int base, int pos);
+
+// Inverse of IndexSkippingDigit: splice `digit` in at level `pos` of the
+// skip-compressed `rest`. The result must fit 64 bits (callers validate
+// topology sizes up front).
+std::uint64_t IndexInsertingDigit(std::uint64_t rest, int base, int pos,
+                                  int digit);
+
 // Index of `digits` with position `skip` removed (used to identify the
 // level-`skip` switch shared by servers differing only in that digit).
 std::uint64_t DigitsToIndexSkipping(std::span<const int> digits, int base, int skip);
@@ -33,5 +55,10 @@ int HammingDistance(std::span<const int> a, std::span<const int> b);
 // base^exponent with overflow check (throws InvalidArgument on overflow);
 // topology sizes must stay representable.
 std::uint64_t CheckedPow(std::uint64_t base, unsigned exponent);
+
+// a*b / a+b with the same overflow contract as CheckedPow, so derived counts
+// (switch totals, link totals) can be validated without constructing anything.
+std::uint64_t CheckedMul(std::uint64_t a, std::uint64_t b);
+std::uint64_t CheckedAdd(std::uint64_t a, std::uint64_t b);
 
 }  // namespace dcn::topo

@@ -9,7 +9,9 @@ namespace dcn::topo {
 void BcubeParams::Validate() const {
   DCN_REQUIRE(n >= 2, "BCube requires switch radix n >= 2");
   DCN_REQUIRE(k >= 0, "BCube requires order k >= 0");
+  // Link ids must fit 64 bits too; both checks are pure arithmetic.
   (void)ServerTotal();
+  (void)LinkTotal();
 }
 
 std::uint64_t BcubeParams::ServerTotal() const {
@@ -17,12 +19,13 @@ std::uint64_t BcubeParams::ServerTotal() const {
 }
 
 std::uint64_t BcubeParams::SwitchTotal() const {
-  return static_cast<std::uint64_t>(k + 1) *
-         CheckedPow(static_cast<std::uint64_t>(n), static_cast<unsigned>(k));
+  return CheckedMul(
+      static_cast<std::uint64_t>(k + 1),
+      CheckedPow(static_cast<std::uint64_t>(n), static_cast<unsigned>(k)));
 }
 
 std::uint64_t BcubeParams::LinkTotal() const {
-  return SwitchTotal() * static_cast<std::uint64_t>(n);
+  return CheckedMul(SwitchTotal(), static_cast<std::uint64_t>(n));
 }
 
 Bcube::Bcube(BcubeParams params) : params_(params) {
@@ -44,18 +47,17 @@ void Bcube::Build() {
     g.AddNode(graph::NodeKind::kSwitch);
   }
 
-  Digits digits(static_cast<std::size_t>(params_.k + 1));
+  // Switch (level, b) connects the n servers with digit d spliced in at
+  // position `level` — pure address arithmetic, no digit temporaries.
   for (int level = 0; level <= params_.k; ++level) {
     for (std::uint64_t b = 0; b < level_stride_; ++b) {
-      const Digits rest = IndexToDigits(b, params_.n, params_.k);
-      for (int i = 0; i < level; ++i) digits[i] = rest[i];
-      for (int i = level + 1; i <= params_.k; ++i) digits[i] = rest[i - 1];
       const graph::NodeId sw =
           static_cast<graph::NodeId>(switch_base_ +
                                      static_cast<std::uint64_t>(level) * level_stride_ + b);
       for (int d = 0; d < params_.n; ++d) {
-        digits[level] = d;
-        g.AddEdge(ServerAt(digits), sw);
+        g.AddEdge(static_cast<graph::NodeId>(
+                      IndexInsertingDigit(b, params_.n, level, d)),
+                  sw);
       }
     }
   }

@@ -8,19 +8,37 @@ namespace dcn::topo {
 
 CapexReport EvaluateCost(const Topology& topology, const CostModel& model) {
   const graph::Graph& g = topology.Network();
-  CapexReport report;
-  report.servers = g.ServerCount();
-  report.switches = g.SwitchCount();
-  report.links = g.EdgeCount();
-
+  std::uint64_t nic_ports = 0;
+  std::uint64_t switch_ports = 0;
   for (graph::NodeId node = 0; static_cast<std::size_t>(node) < g.NodeCount();
        ++node) {
     if (g.IsServer(node)) {
-      report.nic_ports += g.Degree(node);
+      nic_ports += g.Degree(node);
     } else {
-      report.switch_ports += g.Degree(node);
+      switch_ports += g.Degree(node);
     }
   }
+  return EvaluateCostFromCounts(g.ServerCount(), g.SwitchCount(),
+                                g.EdgeCount(), nic_ports, switch_ports, model);
+}
+
+CapexReport EvaluateCost(const ImplicitCube& cube, const CostModel& model) {
+  return EvaluateCostFromCounts(cube.ServerCount(), cube.SwitchCount(),
+                                cube.LinkCount(), cube.NicPortTotal(),
+                                cube.SwitchPortTotal(), model);
+}
+
+CapexReport EvaluateCostFromCounts(std::uint64_t servers,
+                                   std::uint64_t switches, std::uint64_t links,
+                                   std::uint64_t nic_ports,
+                                   std::uint64_t switch_ports,
+                                   const CostModel& model) {
+  CapexReport report;
+  report.servers = servers;
+  report.switches = switches;
+  report.links = links;
+  report.nic_ports = nic_ports;
+  report.switch_ports = switch_ports;
   DCN_ASSERT(report.nic_ports + report.switch_ports == 2 * report.links);
 
   report.servers_usd = static_cast<double>(report.servers) * model.server_usd;

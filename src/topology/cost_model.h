@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "topology/implicit.h"
 #include "topology/topology.h"
 
 namespace dcn::topo {
@@ -54,6 +55,20 @@ struct CapexReport {
 
 // Prices the topology's built graph under the model.
 CapexReport EvaluateCost(const Topology& topology, const CostModel& model = {});
+
+// Prices from aggregate counts — the shared pricing core. Lets callers price
+// networks that were never materialized. Requires nic_ports + switch_ports ==
+// 2 * links (every link pairs one NIC port with one switch port).
+CapexReport EvaluateCostFromCounts(std::uint64_t servers,
+                                   std::uint64_t switches, std::uint64_t links,
+                                   std::uint64_t nic_ports,
+                                   std::uint64_t switch_ports,
+                                   const CostModel& model = {});
+
+// Prices an implicit cube from its closed-form port totals: identical to
+// pricing the materialized graph (the builders cable exactly the ports the
+// arithmetic counts), but works at sizes no graph could hold.
+CapexReport EvaluateCost(const ImplicitCube& cube, const CostModel& model = {});
 
 std::string ToString(const CapexReport& report);
 

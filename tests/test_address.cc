@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+
 #include "common/error.h"
 
 namespace dcn::topo {
@@ -65,6 +68,45 @@ TEST(AddressTest, HammingDistance) {
   EXPECT_EQ(HammingDistance(Digits{1, 2, 3}, Digits{1, 2, 3}), 0);
   EXPECT_EQ(HammingDistance(Digits{1, 2, 3}, Digits{0, 2, 1}), 2);
   EXPECT_THROW(HammingDistance(Digits{1}, Digits{1, 2}), InvalidArgument);
+}
+
+TEST(AddressTest, PackedDigitHelpersMatchDigitVectors) {
+  // The allocation-free helpers must agree with the digit-vector functions
+  // on every index and position — they are the hot-loop replacements.
+  const int base = 5;
+  const int count = 4;
+  std::array<int, 4> buf{};
+  for (std::uint64_t index = 0; index < 625; ++index) {
+    const Digits digits = IndexToDigits(index, base, count);
+    IndexToDigitsInto(index, base, buf);
+    for (int pos = 0; pos < count; ++pos) {
+      ASSERT_EQ(buf[static_cast<std::size_t>(pos)], digits[pos]);
+      ASSERT_EQ(DigitAt(index, base, pos), digits[pos]);
+
+      Digits replaced = digits;
+      replaced[pos] = (digits[pos] + 1) % base;
+      ASSERT_EQ(IndexWithDigit(index, base, pos, replaced[pos]),
+                DigitsToIndex(replaced, base));
+      ASSERT_EQ(IndexWithDigit(index, base, pos, digits[pos]), index);
+
+      const std::uint64_t rest = IndexSkippingDigit(index, base, pos);
+      ASSERT_EQ(rest, DigitsToIndexSkipping(digits, base, pos));
+      ASSERT_EQ(IndexInsertingDigit(rest, base, pos, digits[pos]), index);
+    }
+  }
+}
+
+TEST(AddressTest, CheckedMulAndAdd) {
+  EXPECT_EQ(CheckedMul(3, 7), 21u);
+  EXPECT_EQ(CheckedMul(std::uint64_t{1} << 32, 2), std::uint64_t{1} << 33);
+  EXPECT_EQ(CheckedMul(~std::uint64_t{0}, 0), 0u);
+  EXPECT_EQ(CheckedMul(~std::uint64_t{0}, 1), ~std::uint64_t{0});
+  EXPECT_THROW(CheckedMul(std::uint64_t{1} << 32, std::uint64_t{1} << 32),
+               InvalidArgument);
+
+  EXPECT_EQ(CheckedAdd(2, 3), 5u);
+  EXPECT_EQ(CheckedAdd(~std::uint64_t{0}, 0), ~std::uint64_t{0});
+  EXPECT_THROW(CheckedAdd(~std::uint64_t{0}, 1), InvalidArgument);
 }
 
 TEST(AddressTest, CheckedPow) {

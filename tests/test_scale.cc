@@ -8,6 +8,8 @@
 
 #include "common/rng.h"
 #include "graph/bfs.h"
+#include "graph/implicit.h"
+#include "graph/workspace.h"
 #include "routing/abccc_routing.h"
 #include "routing/route.h"
 #include "topology/abccc.h"
@@ -15,6 +17,7 @@
 #include "topology/dcell.h"
 #include "topology/fattree.h"
 #include "topology/ficonn.h"
+#include "topology/implicit.h"
 
 namespace dcn {
 namespace {
@@ -107,6 +110,41 @@ TEST(ScaleTest, SizeValidationRejectsOverflow) {
   EXPECT_THROW(huge.Validate(), InvalidArgument);
   topo::BcubeParams big_bcube{256, 8};
   EXPECT_THROW(big_bcube.Validate(), InvalidArgument);
+}
+
+TEST(ScaleTest, PetascaleParamsValidateWithoutConstruction) {
+  // 3.2e9 servers: every derived count fits 64 bits, so validation must
+  // succeed — and allocate nothing — even though no graph could ever be
+  // built. This is what lets cost models sweep petascale shapes.
+  topo::AbcccParams petascale{32, 5, 3};
+  EXPECT_NO_THROW(petascale.Validate());
+  EXPECT_EQ(petascale.ServerTotal(), 3221225472u);
+}
+
+TEST(ScaleTest, LinkCountOverflowThrowsFromValidate) {
+  // Server counts fit 64 bits but the LINK total wraps: Validate must catch
+  // the derived-count overflow, not just the node counts.
+  topo::AbcccParams wide{8, 19, 21};
+  EXPECT_THROW(wide.Validate(), InvalidArgument);
+  topo::BcubeParams wide_bcube{8, 19};
+  EXPECT_THROW(wide_bcube.Validate(), InvalidArgument);
+}
+
+TEST(ScaleTest, MillionServerImplicitBfsInFrontierMemory) {
+  // 3.1M servers, 4.5M nodes — far beyond anything the materialized builders
+  // touch in CI — traversed with only the workspace allocation. The CI scale
+  // smoke (bench_scale --smoke) runs the same instance under a hard ulimit.
+  const topo::ImplicitCube cube = topo::ImplicitCube::MakeAbccc(16, 4, 3);
+  EXPECT_EQ(cube.ServerCount(), 3145728u);
+  graph::TraversalScope ws;
+  const std::size_t reached = graph::BfsDistances(cube, 0, *ws);
+  EXPECT_EQ(reached, cube.NodeCount());
+  int ecc = 0;
+  for (std::size_t i = 0; i < cube.ServerCount(); ++i) {
+    ecc = std::max(ecc, ws->Dist(cube.ServerIdAt(i)));
+  }
+  EXPECT_LE(ecc, cube.RouteLengthBound());
+  EXPECT_GE(ecc, 2 * (4 + 1));  // at least one digit-fix round trip per level
 }
 
 }  // namespace
