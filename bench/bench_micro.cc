@@ -22,13 +22,16 @@
 #include <utility>
 #include <vector>
 
+#include "bench_reference.h"
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "obs/obs.h"
 #include "common/rng.h"
 #include "graph/bfs.h"
+#include "graph/cuttree.h"
 #include "graph/paths.h"
 #include "metrics/bisection.h"
+#include "metrics/resilience.h"
 #include "metrics/path_metrics.h"
 #include "routing/abccc_routing.h"
 #include "routing/broadcast.h"
@@ -323,7 +326,96 @@ int RunJson() {
     entries.push_back(e);
   }
 
-  // 4. Route construction + directed-link flattening for a fixed permutation.
+  // 4. Sampled pair cuts: the source-shared batch Dinic (one arc build per
+  //    source group, cached first-phase levels, truncated level BFS) against
+  //    the retained per-pair kernel it replaced. Same Fork(i) draws, so the
+  //    stats must agree exactly — a digest mismatch fails the run.
+  {
+    Entry e{"pair_cuts_abccc_n4_k3_c2"};
+    constexpr std::size_t kPairs = 64;
+    dcn::metrics::PairCutStats batched, reference;
+    e.ns_per_op = BestNs(kRepeats, [&] {
+      Rng rng{dcn::bench::kDefaultSeed};
+      batched = dcn::metrics::SampledPairCuts(net, kPairs, rng);
+      benchmark::DoNotOptimize(batched);
+    });
+    e.baseline_ns_per_op = BestNs(kRepeats, [&] {
+      Rng rng{dcn::bench::kDefaultSeed};
+      reference = dcn::bench::ReferenceSampledPairCuts(net, kPairs, rng);
+      benchmark::DoNotOptimize(reference);
+    });
+    if (batched.mean_cut != reference.mean_cut ||
+        batched.min_cut != reference.min_cut ||
+        batched.pairs != reference.pairs) {
+      std::fprintf(stderr, "pair-cuts batch baseline mismatch\n");
+      return 1;
+    }
+    dcn::obs::Reset();
+    Rng rng{dcn::bench::kDefaultSeed};
+    benchmark::DoNotOptimize(dcn::metrics::SampledPairCuts(net, kPairs, rng));
+    const auto solves =
+        static_cast<double>(dcn::obs::CounterValue("dinic/unit_solves"));
+    const auto reuse =
+        static_cast<double>(dcn::obs::CounterValue("dinic/reuse_hits"));
+    e.obs.emplace_back("dinic_reuse_fraction", reuse / solves);
+    entries.push_back(e);
+  }
+
+  // 5. Monte Carlo single-switch fault trials: the intact-forest cone repair
+  //    plus component-oracle sampling against the retained full-BFS-per-trial
+  //    kernel. The worst-case fraction must be bit-identical.
+  {
+    Entry e{"fault_trials_abccc_n4_k3_c2"};
+    constexpr std::size_t kSamplePairs = 128;
+    constexpr std::size_t kSampleSwitches = 16;
+    double repaired = 0.0, reference = 0.0;
+    e.ns_per_op = BestNs(kRepeats, [&] {
+      Rng rng{dcn::bench::kDefaultSeed};
+      repaired = dcn::metrics::WorstSingleSwitchDisconnection(
+          net, kSamplePairs, kSampleSwitches, rng);
+      benchmark::DoNotOptimize(repaired);
+    });
+    e.baseline_ns_per_op = BestNs(kRepeats, [&] {
+      Rng rng{dcn::bench::kDefaultSeed};
+      reference = dcn::bench::ReferenceWorstSingleSwitchDisconnection(
+          net, kSamplePairs, kSampleSwitches, rng);
+      benchmark::DoNotOptimize(reference);
+    });
+    if (repaired != reference) {
+      std::fprintf(stderr, "fault-trials repair baseline mismatch: %f vs %f\n",
+                   repaired, reference);
+      return 1;
+    }
+    dcn::obs::Reset();
+    Rng rng{dcn::bench::kDefaultSeed};
+    benchmark::DoNotOptimize(dcn::metrics::WorstSingleSwitchDisconnection(
+        net, kSamplePairs, kSampleSwitches, rng));
+    const auto cone = static_cast<double>(
+        dcn::obs::CounterValue("resilience/repair_cone_nodes"));
+    const auto total = static_cast<double>(
+        dcn::obs::CounterValue("resilience/repair_total_nodes"));
+    e.obs.emplace_back("repaired_fraction", cone / total);
+    entries.push_back(e);
+  }
+
+  // 6. Gomory–Hu cut tree: exact all-pairs min-cut structure in V-1 Dinic
+  //    solves on a shared solver. No retained baseline — the per-pair
+  //    equivalent is quadratic in servers and was never a shipped kernel —
+  //    so this row tracks absolute cost, with the solve count pinned by obs.
+  {
+    Entry e{"cuttree_abccc_n4_k3_c2"};
+    e.ns_per_op = BestNs(kRepeats, [&] {
+      benchmark::DoNotOptimize(dcn::metrics::AllPairsCutStats(net));
+    });
+    dcn::obs::Reset();
+    benchmark::DoNotOptimize(dcn::metrics::AllPairsCutStats(net));
+    e.obs.emplace_back(
+        "cuttree_solves",
+        static_cast<double>(dcn::obs::CounterValue("cuttree/solves")));
+    entries.push_back(e);
+  }
+
+  // 7. Route construction + directed-link flattening for a fixed permutation.
   {
     Entry e{"route_flatten_abccc_n4_k3_c2"};
     Rng rng{dcn::bench::kDefaultSeed};
@@ -350,7 +442,7 @@ int RunJson() {
     entries.push_back(e);
   }
 
-  // 5. Packet-sim run at fixed seed/load. Baseline: the same event loop
+  // 8. Packet-sim run at fixed seed/load. Baseline: the same event loop
   //    with per-link FIFOs stored as a vector of deques — the layout the
   //    simulator used before the flat ring-buffer link store. Identical FIFO
   //    semantics and event order, so the two runs must agree exactly.

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_reference.h"
 #include "bench_util.h"
 #include "common/cli.h"
 #include "common/parallel.h"
@@ -167,14 +168,34 @@ int main(int argc, char** argv) {
              metrics::SampledPairCuts(net, pairs, rng);
          return stats.mean_cut + static_cast<double>(stats.min_cut);
        },
-       nullptr},
+       // The pre-batch kernel: a fresh arc build and an untruncated Dinic
+       // per sampled pair. Same base.Fork(i) draws, so the digest must match
+       // the source-shared batch engine exactly.
+       [&] {
+         Rng rng{bench::kDefaultSeed};
+         const metrics::PairCutStats stats =
+             bench::ReferenceSampledPairCuts(net, pairs, rng);
+         return stats.mean_cut + static_cast<double>(stats.min_cut);
+       },
+       // The batch engine banks an algorithmic win (shared arcs + levels),
+       // so the floor holds even where threads cannot help; measured ~2x on
+       // a single-core host, the floor leaves margin for runner noise.
+       1.7},
       {"fault-trials (Monte Carlo)",
        [&] {
          Rng rng{bench::kDefaultSeed};
          return metrics::WorstSingleSwitchDisconnection(net, 128, trials, rng) +
                 1.0;
        },
-       nullptr},
+       // The pre-repair kernel: full BFS traversals per kill trial instead
+       // of re-leveling the dead switch's cone in the intact forest.
+       [&] {
+         Rng rng{bench::kDefaultSeed};
+         return bench::ReferenceWorstSingleSwitchDisconnection(net, 128, trials,
+                                                               rng) +
+                1.0;
+       },
+       2.0},
       {"packetsim (sharded event loop)",
        [&] {
          return psim_digest(

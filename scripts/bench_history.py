@@ -18,9 +18,11 @@ Two operations, combinable in one invocation (check runs first):
              obs_events_per_op, and the scale instances' peak RSS).
   --check    compare --input against the most recent history entry; kernels
              more than --threshold (default 0.10 = 10%) slower are flagged,
-             and any change at all in a kernel's obs_events_per_op is flagged
-             — event counts are deterministic and machine-independent, so
-             drift there means the algorithm changed, not the hardware.
+             and any change at all in a kernel's exact obs fields (event
+             counts, Dinic reuse fraction, fault-trial repaired fraction,
+             cut-tree solve count) is flagged — those are deterministic and
+             machine-independent, so drift there means the algorithm
+             changed, not the hardware.
              Peak RSS is held to the same threshold: the scale benches exist
              to prove O(frontier) memory, so an RSS jump is a regression even
              when the timing is fine.
@@ -96,6 +98,17 @@ def read_history(path):
     return entries
 
 
+# obs_* fields that are pure functions of the pinned workload (integer
+# counters or ratios of integer counters at fixed seeds): ANY change is an
+# algorithm change and is flagged regardless of --threshold.
+EXACT_OBS_FIELDS = (
+    "obs_events_per_op",
+    "obs_dinic_reuse_fraction",
+    "obs_repaired_fraction",
+    "obs_cuttree_solves",
+)
+
+
 def check(kernels, observed, rss, history, threshold):
     """Returns a list of regression strings vs the last history entry."""
     if not history:
@@ -127,20 +140,21 @@ def check(kernels, observed, rss, history, threshold):
                 f"{name}: {ns:.0f} ns/op is {ratio:.2f}x the last recorded "
                 f"run ({ref:.0f} ns/op, label {reference.get('label')!r})"
             )
-        # Event counts are exact and machine-independent: any drift means the
+        # Exact obs fields are machine-independent: any drift means the
         # kernel does different WORK than the recorded run, which a timing
         # threshold tuned for hardware noise would hide.
-        got_events = observed.get(name, {}).get("obs_events_per_op")
-        ref_events = ref_observed.get(name, {}).get("obs_events_per_op")
-        if (isinstance(got_events, (int, float))
-                and isinstance(ref_events, (int, float))
-                and got_events != ref_events):
-            flagged.append(
-                f"{name}: obs_events_per_op drifted to {got_events:.0f} from "
-                f"the recorded {ref_events:.0f} (label "
-                f"{reference.get('label')!r}) — event counts are "
-                "deterministic, so this is an algorithm change, not noise"
-            )
+        for field in EXACT_OBS_FIELDS:
+            got = observed.get(name, {}).get(field)
+            ref_value = ref_observed.get(name, {}).get(field)
+            if (isinstance(got, (int, float))
+                    and isinstance(ref_value, (int, float))
+                    and got != ref_value):
+                flagged.append(
+                    f"{name}: {field} drifted to {got:g} from the recorded "
+                    f"{ref_value:g} (label {reference.get('label')!r}) — this "
+                    "field is deterministic, so this is an algorithm change, "
+                    "not noise"
+                )
     for name in sorted(set(ref_kernels) - set(kernels)):
         flagged.append(f"{name}: present in history but missing from this run")
     return flagged

@@ -22,9 +22,21 @@ class MaxFlowSolver {
 
   // Max flow from the set `sources` to the set `sinks` (disjoint, non-empty).
   // Source/sink attachment arcs are effectively infinite, so the answer is
-  // the min link cut. Single-use: a second call throws, because the arc
-  // capacities hold the residual network of the first solve.
+  // the min link cut. After a solve the arc capacities hold the residual
+  // network, so a second call throws until Reset() is called — the live-edge
+  // list survives, making repeated solves on one graph (Gomory–Hu, batched
+  // sampling) cheaper than rebuilding the solver.
   std::int64_t Solve(std::span<const NodeId> sources, std::span<const NodeId> sinks);
+
+  // Re-arms the solver for another Solve on the same graph/failure set. The
+  // arc arrays are rebuilt from the retained live-edge list by the next
+  // Solve, so this is O(1).
+  void Reset();
+
+  // The source side of the min cut found by the last Solve: side[n] != 0 iff
+  // base node n is reachable from the super source in the residual network.
+  // `side` is sized to the base node count. Requires a completed Solve.
+  void MinCutSourceSide(std::vector<char>& side) const;
 
  private:
   // Arcs live in a flat CSR layout (offset_ per node into parallel to_/rev_/

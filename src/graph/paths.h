@@ -41,4 +41,29 @@ std::size_t EdgeConnectivity(const CsrView& csr, NodeId src, NodeId dst,
                              FlowWorkspace& ws,
                              const FailureSet* failures = nullptr);
 
+// Batched link-connectivity queries against one (graph, failure set). The
+// flat arc arrays are built once in the constructor; each query restores the
+// pristine capacities with a memcpy instead of re-scanning the edge list, so
+// a batch of Q queries pays one arc build instead of Q. Every answer is
+// bit-identical to the corresponding EdgeConnectivity call.
+//
+// Queries sorted by source get a second reuse level: pass
+// `repeated_source = true` when more queries from the same src follow, and
+// the first phase's level graph is cached and shared by the group.
+class EdgeConnectivityBatch {
+ public:
+  EdgeConnectivityBatch(const CsrView& csr, FlowWorkspace& ws,
+                        const FailureSet* failures = nullptr);
+
+  std::size_t Connectivity(NodeId src, NodeId dst,
+                           bool repeated_source = false);
+
+ private:
+  FlowWorkspace& ws_;
+  const FailureSet* failures_;
+  std::size_t nodes_;
+  NodeId cached_src_ = kInvalidNode;  // source the cached levels belong to
+  bool first_ = true;
+};
+
 }  // namespace dcn::graph

@@ -200,6 +200,12 @@ struct FlowWorkspace {
   std::vector<int> level;            // Dinic level graph
   std::vector<std::int32_t> iter;    // per-node arc iterator in Augment
   std::vector<NodeId> queue;         // level-BFS queue
+  // Batched-solve state (graph::EdgeConnectivityBatch): pristine capacities
+  // snapshotted after the arc build, restored by memcpy per query instead of
+  // rebuilding the arc arrays; and the cached first-phase level graph of the
+  // current source, shared by consecutive queries from that source.
+  std::vector<std::int8_t> cap0;
+  std::vector<int> level_first;
 };
 
 // RAII borrow of a TraversalWorkspace from the calling thread's freelist.

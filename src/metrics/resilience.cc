@@ -4,18 +4,24 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
-#include "graph/bfs.h"
-#include "graph/msbfs.h"
+#include "graph/components.h"
+#include "obs/obs.h"
 
 namespace dcn::metrics {
 namespace {
 
-// Shared engine over any TraversalGraph (CsrView, ImplicitCube). For graphs
-// without adjacency spans the nested traversals require an edge-id-free
-// failure set (graph/implicit.h); node kills behave identically either way.
+// Samples pair reachability against a precomputed component labeling. The
+// draw structure — one base.Fork(s) stream per source trial, src then
+// pairs_per_source dst draws — is the historical one, so the sample set is
+// byte-identical to the BFS-per-source implementation this replaced; only
+// the reachability oracle changed (same component iff a live path exists,
+// exactly what the per-source BFS probed). The counts are plain integer
+// sums over a fixed draw set, so the fraction is a pure function of the
+// graph, the failure set, and the rng state.
 template <typename G>
-double PairDisconnectionOver(const G& g, const graph::FailureSet& failures,
-                             std::size_t sample_pairs, Rng& rng) {
+double SampleDisconnection(const G& g, const graph::ComponentSet& comp,
+                           const graph::FailureSet& failures,
+                           std::size_t sample_pairs, Rng& rng) {
   DCN_REQUIRE(sample_pairs > 0, "need at least one sampled pair");
   std::vector<graph::NodeId> alive;
   for (std::size_t i = 0; i < g.ServerCount(); ++i) {
@@ -24,98 +30,39 @@ double PairDisconnectionOver(const G& g, const graph::FailureSet& failures,
   }
   if (alive.size() < 2) return 0.0;
 
-  // Group samples by source so one traversal serves many pairs, then batch
-  // source trials into bit-parallel BFS passes (graph/msbfs.h): lane s of
-  // the seen-word at dst answers "does trial s reach dst". Each trial draws
-  // from its own base.Fork(s) stream and the disconnected/measured counts
-  // are integers, so the fraction is invariant to thread count, to how
-  // trials are blocked into lanes, and to which traversal answers the
-  // reachability probe.
-  //
-  // The sources here are RANDOM servers, so — unlike the all-pairs sweep's
-  // insertion-order-adjacent blocks — the lanes share little frontier and
-  // every lane re-activates nodes the others already settled. Measured on
-  // ABCCC(5,3,2) single-switch kills, an 8-lane pass costs ~3x eight
-  // single-source BFS runs while a 64-lane pass wins ~2.2x; the break-even
-  // is ~25 lanes, so small batches keep the per-source sweep.
-  constexpr std::size_t kMsBfsMinSources = 32;
-  const std::size_t sources =
-      std::min<std::size_t>(alive.size(), std::max<std::size_t>(1, sample_pairs / 16));
+  const std::size_t sources = std::min<std::size_t>(
+      alive.size(), std::max<std::size_t>(1, sample_pairs / 16));
   const std::size_t pairs_per_source = (sample_pairs + sources - 1) / sources;
   const Rng base = rng.Fork();
 
-  struct Partial {
-    std::size_t disconnected = 0;
-    std::size_t measured = 0;
-  };
-  const auto merge = [](Partial acc, Partial partial) {
-    acc.disconnected += partial.disconnected;
-    acc.measured += partial.measured;
-    return acc;
-  };
-  Partial merged;
-  if (sources < kMsBfsMinSources) {
-    merged = ParallelMapReduce(
-        sources, /*chunk=*/1, Partial{},
-        [&](std::size_t begin, std::size_t end) {
-          Partial partial;
-          graph::TraversalScope ws;
-          for (std::size_t s = begin; s < end; ++s) {
-            Rng trial_rng = base.Fork(s);
-            const graph::NodeId src = alive[trial_rng.NextUint64(alive.size())];
-            graph::BfsDistances(g, src, *ws, &failures);
-            for (std::size_t p = 0; p < pairs_per_source; ++p) {
-              graph::NodeId dst = src;
-              while (dst == src) dst = alive[trial_rng.NextUint64(alive.size())];
-              ++partial.measured;
-              if (!ws->Visited(dst)) ++partial.disconnected;
-            }
-          }
-          return partial;
-        },
-        merge);
-  } else {
-    const std::size_t blocks =
-        (sources + graph::kMsBfsLanes - 1) / graph::kMsBfsLanes;
-    merged = ParallelMapReduce(
-        blocks, /*chunk=*/1, Partial{},
-        [&](std::size_t begin, std::size_t end) {
-          Partial partial;
-          graph::MsBfsScope ws;
-          std::vector<Rng> trial_rngs;
-          std::vector<graph::NodeId> block_sources;
-          for (std::size_t b = begin; b < end; ++b) {
-            const std::size_t first = b * graph::kMsBfsLanes;
-            const std::size_t lanes =
-                std::min(graph::kMsBfsLanes, sources - first);
-            trial_rngs.clear();
-            block_sources.clear();
-            for (std::size_t s = 0; s < lanes; ++s) {
-              trial_rngs.push_back(base.Fork(first + s));
-              block_sources.push_back(
-                  alive[trial_rngs.back().NextUint64(alive.size())]);
-            }
-            graph::MultiSourceBfs(
-                g, block_sources, *ws,
-                [](int, graph::NodeId, std::uint64_t) {}, &failures);
-            for (std::size_t s = 0; s < lanes; ++s) {
-              Rng& trial_rng = trial_rngs[s];
-              const graph::NodeId src = block_sources[s];
-              const std::uint64_t bit = std::uint64_t{1} << s;
-              for (std::size_t p = 0; p < pairs_per_source; ++p) {
-                graph::NodeId dst = src;
-                while (dst == src) dst = alive[trial_rng.NextUint64(alive.size())];
-                ++partial.measured;
-                if ((ws->SeenWord(dst) & bit) == 0) ++partial.disconnected;
-              }
-            }
-          }
-          return partial;
-        },
-        merge);
+  std::size_t disconnected = 0;
+  std::size_t measured = 0;
+  for (std::size_t s = 0; s < sources; ++s) {
+    Rng trial_rng = base.Fork(s);
+    const graph::NodeId src = alive[trial_rng.NextUint64(alive.size())];
+    for (std::size_t p = 0; p < pairs_per_source; ++p) {
+      graph::NodeId dst = src;
+      while (dst == src) dst = alive[trial_rng.NextUint64(alive.size())];
+      ++measured;
+      if (!comp.SameComponent(src, dst)) ++disconnected;
+    }
   }
-  return static_cast<double>(merged.disconnected) /
-         static_cast<double>(merged.measured);
+  return static_cast<double>(disconnected) / static_cast<double>(measured);
+}
+
+// Shared engine over any TraversalGraph (CsrView, ImplicitCube): one
+// component sweep answers every sampled pair, replacing the per-source BFS
+// (and the 64-lane MS-BFS batches) this metric used to run. For graphs
+// without adjacency spans the labeling requires an edge-id-free failure set
+// (graph/implicit.h); node kills behave identically either way.
+template <typename G>
+double PairDisconnectionOver(const G& g, const graph::FailureSet& failures,
+                             std::size_t sample_pairs, Rng& rng) {
+  graph::ComponentSet comp;
+  graph::LabelComponents(g, &failures, comp);
+  static obs::Counter& c_sweeps = obs::GetCounter("resilience/component_sweeps");
+  c_sweeps.Add(1);
+  return SampleDisconnection(g, comp, failures, sample_pairs, rng);
 }
 
 }  // namespace
@@ -174,22 +121,37 @@ double WorstSingleSwitchDisconnection(const topo::Topology& net,
     switches.resize(sample_switches);
   }
 
+  // Every trial kills one switch in the same intact graph, so the intact
+  // BFS forest is built once and each trial re-levels only the killed
+  // switch's cone (graph/components.h) instead of re-traversing the graph.
   // One kill-trial per switch, each with its own base.Fork(index) stream;
   // the max over trials is order-insensitive, so any thread count gives the
-  // same worst case. Prewarm the CSR snapshot: every nested
-  // PairDisconnectionFraction call reads it.
-  g.Csr();
+  // same worst case.
+  const graph::CsrView& csr = g.Csr();
+  const graph::ComponentForest forest{csr};
+  static obs::Counter& c_trials = obs::GetCounter("resilience/repair_trials");
+  static obs::Counter& c_cone = obs::GetCounter("resilience/repair_cone_nodes");
+  static obs::Counter& c_total =
+      obs::GetCounter("resilience/repair_total_nodes");
   const Rng base = rng.Fork();
   return ParallelMapReduce(
       switches.size(), /*chunk=*/1, 0.0,
       [&](std::size_t begin, std::size_t end) {
         double worst = 0.0;
+        graph::ComponentRepairScratch scratch;
+        graph::ComponentSet comp;
         for (std::size_t i = begin; i < end; ++i) {
           graph::FailureSet failures{g};
           failures.KillNode(switches[i]);
+          const graph::NodeId dead_node = switches[i];
+          const std::size_t cone =
+              forest.Repair({&dead_node, 1}, {}, failures, scratch, comp);
+          c_trials.Add(1);
+          c_cone.Add(cone);
+          c_total.Add(csr.NodeCount());
           Rng pair_rng = base.Fork(i);
-          worst = std::max(worst, PairDisconnectionFraction(
-                                      net, failures, sample_pairs, pair_rng));
+          worst = std::max(worst, SampleDisconnection(csr, comp, failures,
+                                                      sample_pairs, pair_rng));
         }
         return worst;
       },

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "graph/bfs.h"
 
 namespace dcn::graph {
@@ -126,6 +127,85 @@ TEST(DisjointPathsTest, AntiparallelFlowIsCancelled) {
   const auto paths = EdgeDisjointPaths(g, 0, 5);
   EXPECT_EQ(paths.size(), 2u);
   CheckDisjointPaths(g, 0, 5, paths);
+}
+
+Graph RandomGraph(Rng& rng, std::size_t nodes, std::size_t edges) {
+  Graph g;
+  for (std::size_t i = 0; i < nodes; ++i) g.AddNode(NodeKind::kServer);
+  // A random spine keeps most of the graph connected; extra random edges add
+  // the parallel capacity the flow solver has to find.
+  for (std::size_t i = 1; i < nodes; ++i) {
+    g.AddEdge(static_cast<NodeId>(rng.NextUint64(i)), static_cast<NodeId>(i));
+  }
+  for (std::size_t e = nodes - 1; e < edges; ++e) {
+    const auto u = static_cast<NodeId>(rng.NextUint64(nodes));
+    const auto v = static_cast<NodeId>(rng.NextUint64(nodes));
+    if (u != v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+TEST(BatchConnectivityTest, MatchesSingleShotOnRandomGraphs) {
+  Rng rng{2024};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t nodes = 8 + rng.NextUint64(40);
+    const Graph g = RandomGraph(rng, nodes, nodes * 2);
+    const CsrView& csr = g.Csr();
+    FlowScope batch_ws;
+    EdgeConnectivityBatch batch{csr, *batch_ws};
+    FlowScope single_ws;
+    for (int q = 0; q < 30; ++q) {
+      const auto src = static_cast<NodeId>(rng.NextUint64(nodes));
+      auto dst = src;
+      while (dst == src) dst = static_cast<NodeId>(rng.NextUint64(nodes));
+      // Exercise both hint values: the cached-level path must be a pure
+      // optimization.
+      const bool repeated = (q % 3) != 0;
+      EXPECT_EQ(batch.Connectivity(src, dst, repeated),
+                EdgeConnectivity(csr, src, dst, *single_ws))
+          << "trial " << trial << " query " << q << ": " << src << "->" << dst;
+    }
+  }
+}
+
+TEST(BatchConnectivityTest, RepeatedSourceSharesLevels) {
+  Rng rng{7};
+  const Graph g = RandomGraph(rng, 32, 80);
+  const CsrView& csr = g.Csr();
+  FlowScope ws;
+  EdgeConnectivityBatch batch{csr, *ws};
+  FlowScope single_ws;
+  const NodeId src = 3;
+  for (NodeId dst = 0; static_cast<std::size_t>(dst) < 32; ++dst) {
+    if (dst == src) continue;
+    EXPECT_EQ(batch.Connectivity(src, dst, /*repeated_source=*/true),
+              EdgeConnectivity(csr, src, dst, *single_ws))
+        << src << "->" << dst;
+  }
+}
+
+TEST(BatchConnectivityTest, HonorsFailures) {
+  Rng rng{99};
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = RandomGraph(rng, 24, 60);
+    FailureSet failures{g};
+    for (int k = 0; k < 4; ++k) {
+      failures.KillEdge(static_cast<EdgeId>(rng.NextUint64(g.EdgeCount())));
+    }
+    failures.KillNode(static_cast<NodeId>(rng.NextUint64(24)));
+    const CsrView& csr = g.Csr();
+    FlowScope batch_ws;
+    EdgeConnectivityBatch batch{csr, *batch_ws, &failures};
+    FlowScope single_ws;
+    for (int q = 0; q < 20; ++q) {
+      const auto src = static_cast<NodeId>(rng.NextUint64(24));
+      auto dst = src;
+      while (dst == src) dst = static_cast<NodeId>(rng.NextUint64(24));
+      EXPECT_EQ(batch.Connectivity(src, dst, q % 2 == 0),
+                EdgeConnectivity(csr, src, dst, *single_ws, &failures))
+          << "trial " << trial << ": " << src << "->" << dst;
+    }
+  }
 }
 
 }  // namespace
