@@ -18,8 +18,11 @@ int main(int argc, char** argv) {
   // latency into serialization and queueing; under incast the queue-share
   // column is the direct readout of fan-in congestion.
   const bool breakdown = env.Args().GetBool("latency-breakdown", false);
+  // The slowdown tail columns read the always-on telemetry sketch
+  // (obs/sketch.h): under incast p999-slow pins the unlucky packets that ate
+  // the full queue ceiling, at 1% relative error in O(buckets) memory.
   Table table{{"topology", "fan-in", "agg-rate", "min-rate", "pkt-delivered",
-               "pkt-p99-lat"}};
+               "pkt-p99-lat", "p99-slow", "p999-slow"}};
   Table bd_table{{"topology", "fan-in", "delivered", "hops-mean", "serial-mean",
                   "queue-mean", "queue-p99", "queue-share"}};
   Rng rng{bench::kDefaultSeed};
@@ -42,7 +45,9 @@ int main(int argc, char** argv) {
       table.AddRow({net.Describe(), Table::Cell(fan_in),
                     Table::Cell(fair.aggregate, 2), Table::Cell(fair.min_rate, 3),
                     Table::Percent(packets.DeliveredFraction(), 1),
-                    Table::Cell(packets.latency.Percentile(0.99), 1)});
+                    Table::Cell(packets.latency.Percentile(0.99), 1),
+                    Table::Cell(packets.telemetry.slowdown.Quantile(0.99), 2),
+                    Table::Cell(packets.telemetry.slowdown.Quantile(0.999), 2)});
       if (breakdown) {
         const obs::flight::LatencyBreakdown& bd = packets.breakdown;
         const bool any = bd.queueing.Count() > 0;

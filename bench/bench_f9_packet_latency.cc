@@ -35,8 +35,11 @@ int main(int argc, char** argv) {
   } else {
     loads = {0.05, 0.2, 0.4, 0.6, 0.8};
   }
+  // p99-slow / p999-slow come from the always-on telemetry sketch
+  // (obs/sketch.h): latency over hops x service time, tail-resolved within
+  // 1% relative error in O(buckets) memory however long the run.
   Table table{{"topology", "servers", "load", "delivered", "mean-lat", "p50",
-               "p99"}};
+               "p99", "p99-slow", "p999-slow"}};
   Table bd_table{{"topology", "load", "delivered", "hops-mean", "serial-mean",
                   "queue-mean", "queue-p99", "queue-share"}};
   Rng rng{bench::kDefaultSeed};
@@ -57,7 +60,9 @@ int main(int argc, char** argv) {
                     Table::Percent(result.DeliveredFraction(), 1),
                     Table::Cell(result.latency.Mean(), 2),
                     Table::Cell(result.latency.Percentile(0.5), 1),
-                    Table::Cell(result.latency.Percentile(0.99), 1)});
+                    Table::Cell(result.latency.Percentile(0.99), 1),
+                    Table::Cell(result.telemetry.slowdown.Quantile(0.99), 2),
+                    Table::Cell(result.telemetry.slowdown.Quantile(0.999), 2)});
       if (breakdown) {
         const obs::flight::LatencyBreakdown& bd = result.breakdown;
         const bool any = bd.queueing.Count() > 0;

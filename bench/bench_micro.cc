@@ -474,6 +474,15 @@ int RunJson() {
     e.obs.emplace_back(
         "events_per_op",
         static_cast<double>(dcn::obs::CounterValue("packetsim/events")));
+    // Telemetry-sketch readouts: deterministic functions of the pinned
+    // workload (obs/sketch.h), so any drift is an algorithm change.
+    e.obs.emplace_back("p99_slowdown", ring.telemetry.slowdown.Quantile(0.99));
+    e.obs.emplace_back("p999_slowdown",
+                       ring.telemetry.slowdown.Quantile(0.999));
+    e.obs.emplace_back(
+        "telemetry_buckets",
+        static_cast<double>(ring.telemetry.latency.Buckets().size() +
+                            ring.telemetry.slowdown.Buckets().size()));
     entries.push_back(e);
   }
 

@@ -106,6 +106,12 @@ EXACT_OBS_FIELDS = (
     "obs_dinic_reuse_fraction",
     "obs_repaired_fraction",
     "obs_cuttree_solves",
+    # Telemetry-sketch readouts of the pinned packetsim run (obs/sketch.h):
+    # quantiles are deterministic bucket walks and the bucket count bounds
+    # the sketch's memory, so drift in any of them is an algorithm change.
+    "obs_p99_slowdown",
+    "obs_p999_slowdown",
+    "obs_telemetry_buckets",
 )
 
 

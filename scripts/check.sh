@@ -50,14 +50,32 @@ python3 scripts/validate_trace.py build/trace_f9.json \
   --flight-sample=0.05 --flight-bucket=50 --latency-breakdown \
   --trace-out=build/trace_f9_flight.json \
   --timeseries-csv=build/f9_timeseries.csv \
-  --fct-csv=build/f9_fct.csv > build/f9_flight.txt
+  --fct-csv=build/f9_fct.csv \
+  --fct-summary=build/f9_fct_summary.txt \
+  --stats-json=build/f9_stats.json > build/f9_flight.txt
 python3 scripts/validate_trace.py build/trace_f9_flight.json \
   --expect-span packetsim/run --expect-flight
+# The telemetry-sketch registries (obs/sketch.h, obs/rollup.h) must export
+# schema-valid, internally consistent blocks with the packetsim telemetry
+# populated. scripts/validate_stats.py asserts the sketch/heavy-hitter/rollup
+# invariants (counts reconcile, quantiles monotone, level totals agree).
+python3 scripts/validate_stats.py build/f9_stats.json \
+  --expect-sketch packetsim/latency --expect-sketch packetsim/slowdown \
+  --expect-heavy-hitters packetsim/hot_links \
+  --expect-heavy-hitters packetsim/elephant_flows \
+  --expect-rollup packetsim/links --expect-counter packetsim/runs
 if ! diff <(sed -n '/== F9: packet-level/,/^$/p' build/f9_plain.txt) \
           <(sed -n '/== F9: packet-level/,/^$/p' build/f9_flight.txt); then
   echo "error: F9 table changed with the flight recorder enabled" >&2
   exit 1
 fi
+# F9 is packet-level, so its FCT summary is an empty table; the fluid shuffle
+# bench records real completion times and must produce populated quantile
+# rows from the bounded sketch (no per-flow CSV needed).
+./build/bench/bench_f23_shuffle \
+  --fct-summary=build/f23_fct_summary.txt > /dev/null
+grep -q '| fluid |' build/f23_fct_summary.txt || {
+  echo "error: FCT summary has no fluid rows" >&2; exit 1; }
 ./build/bench/bench_parallel_scaling --repeats=1 --threads-max=4 \
   --min-speedup=0 --trace-out=build/trace_scaling.json > /dev/null
 python3 scripts/validate_trace.py build/trace_scaling.json \

@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Schema check for the stats JSON emitted by obs/report.h (--stats-json).
+
+Asserts the document is one object with the six registry blocks and that the
+sketch-layer blocks (obs/sketch.h, obs/rollup.h) are internally consistent:
+
+  * top level is an object with counters / gauges / histograms / timers /
+    sketches / heavy_hitters / rollups (all objects, possibly empty);
+  * counters and gauges map names to integers; histogram and timer entries
+    carry their integer count fields;
+  * every sketch entry has integer count/zero and numeric
+    relative_accuracy/min/max/mean/p50/p90/p99/p999 with
+    zero + sum(buckets) == count, monotone quantiles
+    p50 <= p90 <= p99 <= p999, and min <= p50, p999 <= max;
+  * every heavy-hitter entry has capacity >= 1, at most capacity entries,
+    each with integer key/count/error, error <= count, sorted by
+    (count desc, key asc), and floor <= total_weight;
+  * every rollup entry's levels all report the identical total and leaves
+    (each level's total IS the flat sum — that is the rollup invariant),
+    with max_group.total <= total and per-level quantile count == groups.
+
+Usage: validate_stats.py STATS.json [--expect-sketch NAME]
+                         [--expect-heavy-hitters NAME] [--expect-rollup NAME]
+                         [--expect-counter NAME]
+
+The --expect-* flags (repeatable) additionally require a named entry with
+nonzero data — CI uses them to prove a telemetry-enabled benchmark really
+exported sketches, heavy hitters, and rollups.
+
+Exits 0 when valid; prints every violation and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+BLOCKS = (
+    "counters",
+    "gauges",
+    "histograms",
+    "timers",
+    "sketches",
+    "heavy_hitters",
+    "rollups",
+)
+
+
+def is_num(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate_sketch(name, sketch, errors):
+    where = f"sketches[{name!r}]"
+    if not isinstance(sketch, dict):
+        errors.append(f"{where}: not an object")
+        return
+    for field in ("count", "zero"):
+        if not is_int(sketch.get(field)) or sketch.get(field, -1) < 0:
+            errors.append(f"{where}: missing non-negative integer {field!r}")
+            return
+    for field in ("relative_accuracy", "min", "max", "mean",
+                  "p50", "p90", "p99", "p999"):
+        if not is_num(sketch.get(field)):
+            errors.append(f"{where}: missing numeric {field!r}")
+            return
+    buckets = sketch.get("buckets")
+    if not isinstance(buckets, dict):
+        errors.append(f"{where}: missing object 'buckets'")
+        return
+    bucketed = 0
+    for index, count in buckets.items():
+        try:
+            int(index)
+        except ValueError:
+            errors.append(f"{where}: bucket index {index!r} is not an integer")
+        if not is_int(count) or count <= 0:
+            errors.append(
+                f"{where}: bucket {index!r} count must be a positive integer")
+            continue
+        bucketed += count
+    if sketch["zero"] + bucketed != sketch["count"]:
+        errors.append(
+            f"{where}: zero ({sketch['zero']}) + bucket counts ({bucketed}) "
+            f"!= count ({sketch['count']})")
+    q = [sketch["p50"], sketch["p90"], sketch["p99"], sketch["p999"]]
+    if any(b < a for a, b in zip(q, q[1:])):
+        errors.append(f"{where}: quantiles not monotone: {q}")
+    if sketch["count"] > 0:
+        if sketch["min"] > q[0] or q[-1] > sketch["max"]:
+            errors.append(
+                f"{where}: quantiles escape [min, max]: "
+                f"min={sketch['min']} {q} max={sketch['max']}")
+    if not 0 < sketch["relative_accuracy"] < 1:
+        errors.append(f"{where}: relative_accuracy outside (0, 1)")
+
+
+def validate_heavy_hitters(name, hitters, errors):
+    where = f"heavy_hitters[{name!r}]"
+    if not isinstance(hitters, dict):
+        errors.append(f"{where}: not an object")
+        return
+    capacity = hitters.get("capacity")
+    total = hitters.get("total_weight")
+    floor = hitters.get("floor")
+    entries = hitters.get("entries")
+    if not is_int(capacity) or capacity < 1:
+        errors.append(f"{where}: capacity must be an integer >= 1")
+        return
+    if not is_int(total) or total < 0 or not is_int(floor) or floor < 0:
+        errors.append(f"{where}: total_weight/floor must be integers >= 0")
+        return
+    if floor > total:
+        errors.append(f"{where}: floor ({floor}) > total_weight ({total})")
+    if not isinstance(entries, list):
+        errors.append(f"{where}: missing array 'entries'")
+        return
+    if len(entries) > capacity:
+        errors.append(
+            f"{where}: {len(entries)} entries exceed capacity {capacity}")
+    previous = None
+    for i, entry in enumerate(entries):
+        if (not isinstance(entry, dict)
+                or not all(is_int(entry.get(f)) for f in
+                           ("key", "count", "error"))):
+            errors.append(
+                f"{where}: entries[{i}] needs integer key/count/error")
+            continue
+        if entry["error"] > entry["count"]:
+            errors.append(
+                f"{where}: entries[{i}] error {entry['error']} exceeds "
+                f"count {entry['count']}")
+        order = (-entry["count"], entry["key"])
+        if previous is not None and order < previous:
+            errors.append(
+                f"{where}: entries[{i}] breaks (count desc, key asc) order")
+        previous = order
+
+
+def validate_rollup(name, rollup, errors):
+    where = f"rollups[{name!r}]"
+    if not isinstance(rollup, dict) or not isinstance(
+            rollup.get("levels"), list):
+        errors.append(f"{where}: not an object with a 'levels' array")
+        return
+    totals = set()
+    leaves = set()
+    for i, level in enumerate(rollup["levels"]):
+        lw = f"{where}.levels[{i}]"
+        if not isinstance(level, dict) or not isinstance(
+                level.get("name"), str):
+            errors.append(f"{lw}: needs a string 'name'")
+            continue
+        for field in ("groups", "leaves", "total"):
+            if not is_int(level.get(field)):
+                errors.append(f"{lw}: missing integer {field!r}")
+                break
+        else:
+            totals.add(level["total"])
+            leaves.add(level["leaves"])
+            max_group = level.get("max_group")
+            if (not isinstance(max_group, dict)
+                    or not is_int(max_group.get("key"))
+                    or not is_int(max_group.get("total"))):
+                errors.append(f"{lw}: missing max_group {{key, total}}")
+            elif max_group["total"] > level["total"]:
+                errors.append(
+                    f"{lw}: max_group.total {max_group['total']} exceeds "
+                    f"level total {level['total']}")
+            quantiles = level.get("quantiles")
+            if not isinstance(quantiles, dict) or not is_int(
+                    quantiles.get("count")):
+                errors.append(f"{lw}: missing quantiles object with 'count'")
+            elif quantiles["count"] != level["groups"]:
+                errors.append(
+                    f"{lw}: quantile count {quantiles['count']} != groups "
+                    f"{level['groups']} (Summarize feeds one value per group)")
+            if not isinstance(level.get("top"), list):
+                errors.append(f"{lw}: missing 'top' array")
+    if len(totals) > 1:
+        errors.append(
+            f"{where}: level totals disagree ({sorted(totals)}) — every "
+            "level must equal the flat sum of the leaves")
+    if len(leaves) > 1:
+        errors.append(f"{where}: level leaf counts disagree ({sorted(leaves)})")
+
+
+def validate(stats, args):
+    errors = []
+    if not isinstance(stats, dict):
+        return ["top-level JSON value must be an object"]
+    for block in BLOCKS:
+        if not isinstance(stats.get(block), dict):
+            errors.append(f"missing object block {block!r}")
+    if errors:
+        return errors
+
+    for name, value in stats["counters"].items():
+        if not is_int(value) or value < 0:
+            errors.append(f"counters[{name!r}]: not a non-negative integer")
+    for name, value in stats["gauges"].items():
+        if not is_int(value):
+            errors.append(f"gauges[{name!r}]: not an integer")
+    for name, hist in stats["histograms"].items():
+        if not isinstance(hist, dict) or not is_int(hist.get("count")):
+            errors.append(f"histograms[{name!r}]: needs an integer 'count'")
+    for name, timer in stats["timers"].items():
+        if not isinstance(timer, dict) or not is_int(timer.get("count")):
+            errors.append(f"timers[{name!r}]: needs an integer 'count'")
+
+    for name, sketch in stats["sketches"].items():
+        validate_sketch(name, sketch, errors)
+    for name, hitters in stats["heavy_hitters"].items():
+        validate_heavy_hitters(name, hitters, errors)
+    for name, rollup in stats["rollups"].items():
+        validate_rollup(name, rollup, errors)
+
+    for name in args.expect_sketch:
+        sketch = stats["sketches"].get(name)
+        if not isinstance(sketch, dict) or not sketch.get("count"):
+            errors.append(f"expected sketch {name!r} with nonzero count")
+    for name in args.expect_heavy_hitters:
+        hitters = stats["heavy_hitters"].get(name)
+        if not isinstance(hitters, dict) or not hitters.get("entries"):
+            errors.append(f"expected heavy-hitter summary {name!r} with entries")
+    for name in args.expect_rollup:
+        rollup = stats["rollups"].get(name)
+        if (not isinstance(rollup, dict)
+                or not any(level.get("leaves")
+                           for level in rollup.get("levels", [])
+                           if isinstance(level, dict))):
+            errors.append(f"expected rollup {name!r} with nonzero leaves")
+    for name in args.expect_counter:
+        if name not in stats["counters"]:
+            errors.append(f"expected counter {name!r}")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("stats", help="stats JSON file (--stats-json output)")
+    parser.add_argument("--expect-sketch", action="append", default=[])
+    parser.add_argument("--expect-heavy-hitters", action="append", default=[])
+    parser.add_argument("--expect-rollup", action="append", default=[])
+    parser.add_argument("--expect-counter", action="append", default=[])
+    args = parser.parse_args()
+
+    try:
+        with open(args.stats, encoding="utf-8") as handle:
+            stats = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{args.stats}: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate(stats, args)
+    if errors:
+        for error in errors:
+            print(f"{args.stats}: {error}", file=sys.stderr)
+        print(f"{args.stats}: INVALID ({len(errors)} violations)",
+              file=sys.stderr)
+        return 1
+    counts = ", ".join(
+        f"{len(stats[block])} {block}" for block in BLOCKS)
+    print(f"{args.stats}: OK ({counts})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

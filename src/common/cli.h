@@ -30,8 +30,8 @@ class CliArgs {
 //   --stats-json=FILE write merged obs stats as JSON at exit
 //   --obs-report      print the obs report table to stderr at exit
 // plus the flight-recorder flags (--flight-sample, --flight-bucket,
-// --latency-breakdown, --fct-csv, --timeseries-csv, --timeseries-json; see
-// obs/report.h). The obs sinks are written by obs::FlushSinks();
+// --latency-breakdown, --fct-csv, --fct-summary, --timeseries-csv,
+// --timeseries-json; see obs/report.h). The obs sinks are written by obs::FlushSinks();
 // bench/bench_util.h's ExperimentEnv pairs the two for every experiment
 // binary.
 void ApplyGlobalFlags(const CliArgs& args);

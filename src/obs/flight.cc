@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/table.h"
 #include "obs/obs.h"
 
 namespace dcn::obs::flight {
@@ -81,6 +82,7 @@ Recorder::Recorder(int run, std::string sim, double duration,
       sampling_(config.sample_rate > 0.0),
       timeseries_(config.bucket_width > 0.0),
       fct_(config.fct),
+      fct_summary_(config.fct_summary),
       sample_base_(Rng{config.salt}.Fork(static_cast<std::uint64_t>(run))),
       lane_namer_(std::move(lane_namer)) {
   breakdown_.enabled = config.latency_breakdown;
@@ -209,8 +211,14 @@ void Recorder::InFlight(double now, std::int64_t count) {
 
 void Recorder::Flow(FlowKind kind, std::uint32_t flow, double bytes,
                     double value) {
-  if (!fct_) return;
-  flows_.push_back(FlowRecord{kind, flow, bytes, value});
+  if (fct_summary_ && kind == FlowKind::kFct) {
+    if (std::isfinite(value)) {
+      fct_sketch_.Add(value);
+    } else {
+      ++unroutable_;  // see sim/fluid.cc: +inf marks an unroutable flow
+    }
+  }
+  if (fct_) flows_.push_back(FlowRecord{kind, flow, bytes, value});
 }
 
 void Recorder::Finish() {
@@ -246,6 +254,13 @@ void Recorder::Finish() {
       h_fct.Add(static_cast<std::int64_t>(std::llround(record.value)));
     }
   }
+  if (fct_summary_) {
+    static Counter& c_unroutable = GetCounter("flight/unroutable_flows");
+    c_unroutable.Add(unroutable_);
+    if (fct_sketch_.Count() > 0) {
+      GetQuantileSketch("flight/fct").Merge(fct_sketch_);
+    }
+  }
   lane_namer_ = nullptr;  // must not outlive the simulator's scope
 }
 
@@ -256,7 +271,8 @@ void Recorder::Finish() {
 RunScope::RunScope(std::string_view sim, double duration,
                    std::size_t link_count,
                    std::function<std::string(std::uint64_t)> lane_namer) {
-  if (tl_active_run != nullptr) return;
+  nested_ = tl_active_run != nullptr;
+  if (nested_) return;
   FlightState& state = State();
   std::lock_guard<std::mutex> lock{state.mutex};
   if (!state.enabled) return;
@@ -288,6 +304,8 @@ struct FlightAccess {
     snap.packets = run.records_;
     snap.flows = run.flows_;
     snap.breakdown = run.breakdown_;
+    snap.fct_sketch = run.fct_sketch_;
+    snap.unroutable = run.unroutable_;
     // Lanes actually touched by sampled hops, ascending link id.
     std::vector<bool> used(run.lane_names_.size(), false);
     for (const PacketRecord& packet : snap.packets) {
@@ -344,6 +362,33 @@ void WriteFctCsvFile(const std::string& path) {
   WriteFctCsv(out, runs);
   out.flush();
   DCN_REQUIRE(out.good(), "failed writing FCT output file: " + path);
+}
+
+void WriteFctSummary(std::ostream& out, const std::vector<RunSnapshot>& runs) {
+  Table table{{"run", "sim", "flows", "unroutable", "p50", "p90", "p99",
+               "p999", "max"}};
+  for (const RunSnapshot& run : runs) {
+    const QuantileSketch& sketch = run.fct_sketch;
+    if (sketch.Count() == 0 && run.unroutable == 0) continue;
+    table.AddRow({Table::Cell(run.run), run.sim, Table::Cell(sketch.Count()),
+                  Table::Cell(run.unroutable),
+                  Table::Cell(sketch.Quantile(0.50), 4),
+                  Table::Cell(sketch.Quantile(0.90), 4),
+                  Table::Cell(sketch.Quantile(0.99), 4),
+                  Table::Cell(sketch.Quantile(0.999), 4),
+                  Table::Cell(sketch.Max(), 4)});
+  }
+  table.Print(out, "flight: FCT quantile summary (relative error <= " +
+                       std::to_string(QuantileSketch::kDefaultAccuracy) + ")");
+}
+
+void WriteFctSummaryFile(const std::string& path) {
+  const std::vector<RunSnapshot> runs = TakeRunsSnapshot();
+  std::ofstream out{path};
+  DCN_REQUIRE(out.good(), "cannot open FCT summary output file: " + path);
+  WriteFctSummary(out, runs);
+  out.flush();
+  DCN_REQUIRE(out.good(), "failed writing FCT summary output file: " + path);
 }
 
 namespace detail {

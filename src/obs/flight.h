@@ -52,6 +52,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/sketch.h"
 #include "obs/timeseries.h"
 
 namespace dcn::obs::flight {
@@ -71,6 +72,11 @@ struct Config {
   double bucket_width = 0.0;
   bool latency_breakdown = false;
   bool fct = false;  // flow-completion / rate records (fluid, flowsim)
+  // Bounded-memory FCT summary (--fct-summary): per-run completion times go
+  // into a quantile sketch (obs/sketch.h) instead of — or alongside — the
+  // per-flow records, so a million-flow run exports O(buckets) telemetry.
+  // Unroutable flows (+inf completion) are counted, never sketched.
+  bool fct_summary = false;
 };
 
 // Turns the recorder on for subsequent runs (config is process-global, like
@@ -138,7 +144,9 @@ class Recorder {
   bool SamplingOn() const { return sampling_; }
   bool TimeSeriesOn() const { return timeseries_; }
   bool BreakdownOn() const { return breakdown_.enabled; }
-  bool FctOn() const { return fct_; }
+  // True when Flow() has any sink: per-flow records (--fct-csv) or the
+  // bounded quantile summary (--fct-summary).
+  bool FctOn() const { return fct_ || fct_summary_; }
 
   // --- sampled lifecycles -------------------------------------------------
   // Pure sampling predicate: would PacketBorn(packet, ...) sample this
@@ -173,6 +181,10 @@ class Recorder {
   void InFlight(double now, std::int64_t count);
 
   // --- flow records -------------------------------------------------------
+  // Records the flow into the enabled sinks: a FlowRecord when per-flow
+  // records are on, and — for finite kFct values — the run's quantile sketch
+  // when the summary is on. Non-finite kFct values (unroutable flows) bump
+  // the unroutable counter instead of poisoning the tail quantiles.
   void Flow(FlowKind kind, std::uint32_t flow, double bytes, double value);
 
  private:
@@ -195,12 +207,15 @@ class Recorder {
   bool sampling_ = false;
   bool timeseries_ = false;
   bool fct_ = false;
+  bool fct_summary_ = false;
   Rng sample_base_{0};  // Rng{salt}.Fork(run); Fork(packet) decides
 
   std::vector<PacketRecord> records_;
   std::uint64_t sampling_skipped_ = 0;
   LatencyBreakdown breakdown_;
   std::vector<FlowRecord> flows_;
+  QuantileSketch fct_sketch_;
+  std::uint64_t unroutable_ = 0;
 
   std::function<std::string(std::uint64_t)> lane_namer_;
   std::vector<std::string> lane_names_;          // resolved, by link id
@@ -229,9 +244,14 @@ class RunScope {
   RunScope& operator=(const RunScope&) = delete;
 
   Recorder* recorder() const { return recorder_; }
+  // True when another run was already active on this thread at construction
+  // (e.g. flowsim invoked from inside fluid's draining loop). Simulators use
+  // this to keep per-call telemetry flushes to top-level invocations only.
+  bool nested() const { return nested_; }
 
  private:
   Recorder* recorder_ = nullptr;
+  bool nested_ = false;
 };
 
 struct RunSnapshot {
@@ -244,6 +264,10 @@ struct RunSnapshot {
   std::vector<std::pair<std::uint64_t, std::string>> lanes;
   std::vector<FlowRecord> flows;
   LatencyBreakdown breakdown;
+  // FCT quantile summary + unroutable-flow count (populated when the
+  // fct_summary config is on; empty otherwise).
+  QuantileSketch fct_sketch;
+  std::uint64_t unroutable = 0;
 };
 
 // Copies every sealed run, in run-id order. Call outside any active run and
@@ -254,6 +278,12 @@ std::vector<RunSnapshot> TakeRunsSnapshot();
 // fill finish_time and the derived rate, kRate rows fill rate only.
 void WriteFctCsv(std::ostream& out, const std::vector<RunSnapshot>& runs);
 void WriteFctCsvFile(const std::string& path);
+
+// Quantile table over each run's FCT sketch (--fct-summary): one row per run
+// that completed flows, with flow counts, unroutable count, and
+// p50/p90/p99/p999/max completion times — O(1) output however many flows ran.
+void WriteFctSummary(std::ostream& out, const std::vector<RunSnapshot>& runs);
+void WriteFctSummaryFile(const std::string& path);
 
 namespace detail {
 // Clears sealed runs and restarts run ids at 0; keeps Enabled()/config.

@@ -9,6 +9,8 @@
 
 #include "common/error.h"
 #include "obs/flight.h"
+#include "obs/rollup.h"
+#include "obs/sketch.h"
 #include "obs/timeseries.h"
 
 namespace dcn::obs {
@@ -322,6 +324,8 @@ void Reset() {
   // id 0 with an empty series registry. Outside the registry lock: these
   // registries have their own locks and never call back into this one.
   detail::ResetTimeSeriesRegistry();
+  detail::ResetSketchRegistry();
+  detail::ResetRollupRegistry();
   flight::detail::ResetRuns();
 }
 

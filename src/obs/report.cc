@@ -10,6 +10,8 @@
 #include "common/cli.h"
 #include "common/error.h"
 #include "obs/flight.h"
+#include "obs/rollup.h"
+#include "obs/sketch.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -21,6 +23,7 @@ struct SinkConfig {
   std::string trace_path;
   std::string stats_path;
   std::string fct_path;
+  std::string fct_summary_path;  // "-" prints to stderr (bare --fct-summary)
   std::string timeseries_csv_path;
   std::string timeseries_json_path;
   bool report_to_stderr = false;
@@ -51,6 +54,14 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+// Round-trippable decimal form, so the JSON is both exact and byte-stable
+// across thread counts (the values themselves are deterministic).
+std::string JsonDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 }  // namespace
 
 Table ReportTable(const Snapshot& snapshot) {
@@ -74,6 +85,34 @@ Table ReportTable(const Snapshot& snapshot) {
                            static_cast<double>(row.count);
     table.AddRow({row.name, "timer-ms", Table::Cell(row.count),
                   Table::Cell(total_ms, 3), Table::Cell(mean_us, 3), ""});
+  }
+  // Sketch-layer metrics (obs/sketch.h, obs/rollup.h) render alongside: the
+  // p99 as the headline value, bounded-error mean, exact max.
+  for (const SketchRow& row : TakeSketchSnapshot()) {
+    if (row.sketch.Count() == 0) continue;
+    table.AddRow({row.name, "sketch-p99", Table::Cell(row.sketch.Count()),
+                  Table::Cell(row.sketch.Quantile(0.99), 3),
+                  Table::Cell(row.sketch.ApproxMean(), 3),
+                  Table::Cell(row.sketch.Max(), 3)});
+  }
+  for (const HeavyHittersRow& row : TakeHeavyHittersSnapshot()) {
+    const std::vector<HeavyHitters::Entry> top = row.hitters.Top();
+    if (top.empty()) continue;
+    table.AddRow({row.name, "top-k", Table::Cell(row.hitters.TotalWeight()),
+                  "key " + Table::Cell(top.front().key),
+                  Table::Cell(static_cast<std::uint64_t>(top.size())),
+                  Table::Cell(top.front().count)});
+  }
+  for (const RollupRow& row : TakeRollupSnapshot()) {
+    for (const Rollup::LevelSummary& level : row.rollup.Summarize()) {
+      if (level.groups == 0) continue;
+      table.AddRow({row.name + "/" + level.name, "rollup",
+                    Table::Cell(level.groups), Table::Cell(level.total),
+                    Table::Cell(static_cast<double>(level.total) /
+                                    static_cast<double>(level.groups),
+                                3),
+                    Table::Cell(level.max_group_total)});
+    }
   }
   return table;
 }
@@ -123,6 +162,84 @@ void WriteStatsJson(std::ostream& out, const Snapshot& snapshot) {
         << "\": {\"count\": " << row.count << ", \"total_ns\": " << row.total_ns
         << "}";
   }
+  out << "\n},\n";
+
+  // Sketch-layer registries (obs/sketch.h, obs/rollup.h). Emitted even when
+  // empty so the schema (scripts/validate_stats.py) is stable.
+  out << "\"sketches\": {";
+  const std::vector<SketchRow> sketches = TakeSketchSnapshot();
+  for (std::size_t i = 0; i < sketches.size(); ++i) {
+    const SketchRow& row = sketches[i];
+    const QuantileSketch& sketch = row.sketch;
+    out << (i == 0 ? "\n" : ",\n") << "  \"" << JsonEscape(row.name)
+        << "\": {\"count\": " << sketch.Count()
+        << ", \"zero\": " << sketch.ZeroCount()
+        << ", \"relative_accuracy\": " << JsonDouble(sketch.RelativeAccuracy())
+        << ", \"min\": " << JsonDouble(sketch.Min())
+        << ", \"max\": " << JsonDouble(sketch.Max())
+        << ", \"mean\": " << JsonDouble(sketch.ApproxMean())
+        << ", \"p50\": " << JsonDouble(sketch.Quantile(0.50))
+        << ", \"p90\": " << JsonDouble(sketch.Quantile(0.90))
+        << ", \"p99\": " << JsonDouble(sketch.Quantile(0.99))
+        << ", \"p999\": " << JsonDouble(sketch.Quantile(0.999))
+        << ", \"buckets\": {";
+    const std::vector<QuantileSketch::Bucket> buckets = sketch.Buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << "\"" << buckets[b].index
+          << "\": " << buckets[b].count;
+    }
+    out << "}}";
+  }
+  out << "\n},\n";
+
+  out << "\"heavy_hitters\": {";
+  const std::vector<HeavyHittersRow> hitters = TakeHeavyHittersSnapshot();
+  for (std::size_t i = 0; i < hitters.size(); ++i) {
+    const HeavyHittersRow& row = hitters[i];
+    out << (i == 0 ? "\n" : ",\n") << "  \"" << JsonEscape(row.name)
+        << "\": {\"capacity\": " << row.hitters.Capacity()
+        << ", \"total_weight\": " << row.hitters.TotalWeight()
+        << ", \"floor\": " << row.hitters.Floor() << ", \"entries\": [";
+    const std::vector<HeavyHitters::Entry> top = row.hitters.Top();
+    for (std::size_t e = 0; e < top.size(); ++e) {
+      out << (e == 0 ? "" : ", ") << "{\"key\": " << top[e].key
+          << ", \"count\": " << top[e].count << ", \"error\": " << top[e].error
+          << "}";
+    }
+    out << "]}";
+  }
+  out << "\n},\n";
+
+  out << "\"rollups\": {";
+  const std::vector<RollupRow> rollups = TakeRollupSnapshot();
+  for (std::size_t i = 0; i < rollups.size(); ++i) {
+    const RollupRow& row = rollups[i];
+    out << (i == 0 ? "\n" : ",\n") << "  \"" << JsonEscape(row.name)
+        << "\": {\"levels\": [";
+    const std::vector<Rollup::LevelSummary> levels = row.rollup.Summarize();
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      const Rollup::LevelSummary& level = levels[l];
+      out << (l == 0 ? "\n" : ",\n") << "    {\"name\": \""
+          << JsonEscape(level.name) << "\", \"groups\": " << level.groups
+          << ", \"leaves\": " << level.leaves
+          << ", \"total\": " << level.total
+          << ", \"max_group\": {\"key\": " << level.max_group_key
+          << ", \"total\": " << level.max_group_total << "}, \"top\": [";
+      const std::vector<HeavyHitters::Entry> top = level.top.Top();
+      for (std::size_t e = 0; e < top.size(); ++e) {
+        out << (e == 0 ? "" : ", ") << "{\"key\": " << top[e].key
+            << ", \"count\": " << top[e].count
+            << ", \"error\": " << top[e].error << "}";
+      }
+      out << "], \"quantiles\": {\"count\": " << level.quantiles.Count()
+          << ", \"p50\": " << JsonDouble(level.quantiles.Quantile(0.50))
+          << ", \"p90\": " << JsonDouble(level.quantiles.Quantile(0.90))
+          << ", \"p99\": " << JsonDouble(level.quantiles.Quantile(0.99))
+          << ", \"p999\": " << JsonDouble(level.quantiles.Quantile(0.999))
+          << "}}";
+    }
+    out << "\n  ]}";
+  }
   out << "\n}\n}\n";
 }
 
@@ -140,6 +257,13 @@ void ConfigureSinks(const CliArgs& args) {
   g_sinks.trace_path = args.GetString("trace-out", g_sinks.trace_path);
   g_sinks.stats_path = args.GetString("stats-json", g_sinks.stats_path);
   g_sinks.fct_path = args.GetString("fct-csv", g_sinks.fct_path);
+  // Bare --fct-summary prints the quantile table to stderr ("-");
+  // --fct-summary=FILE writes it there. Either way the per-flow records stay
+  // off unless --fct-csv asks for them, so memory stays O(buckets) per run.
+  if (args.Has("fct-summary")) {
+    const std::string value = args.GetString("fct-summary", "");
+    g_sinks.fct_summary_path = value == "true" ? "-" : value;
+  }
   g_sinks.timeseries_csv_path =
       args.GetString("timeseries-csv", g_sinks.timeseries_csv_path);
   g_sinks.timeseries_json_path =
@@ -152,10 +276,10 @@ void ConfigureSinks(const CliArgs& args) {
 
   const bool wants_timeseries = !g_sinks.timeseries_csv_path.empty() ||
                                 !g_sinks.timeseries_json_path.empty();
-  const bool wants_flight = args.Has("flight-sample") ||
-                            args.Has("flight-bucket") ||
-                            args.GetBool("latency-breakdown", false) ||
-                            !g_sinks.fct_path.empty() || wants_timeseries;
+  const bool wants_flight =
+      args.Has("flight-sample") || args.Has("flight-bucket") ||
+      args.GetBool("latency-breakdown", false) || !g_sinks.fct_path.empty() ||
+      !g_sinks.fct_summary_path.empty() || wants_timeseries;
   if (wants_flight) {
     flight::Config cfg;
     cfg.sample_rate = args.GetDouble("flight-sample", 0.0);
@@ -164,6 +288,7 @@ void ConfigureSinks(const CliArgs& args) {
         args.GetDouble("flight-bucket", wants_timeseries ? 50.0 : 0.0);
     cfg.latency_breakdown = args.GetBool("latency-breakdown", false);
     cfg.fct = !g_sinks.fct_path.empty();
+    cfg.fct_summary = !g_sinks.fct_summary_path.empty();
     flight::Enable(cfg);
   }
 }
@@ -178,6 +303,13 @@ void FlushSinks() {
   if (!sinks.trace_path.empty()) WriteChromeTraceFile(sinks.trace_path);
   if (!sinks.stats_path.empty()) WriteStatsJsonFile(sinks.stats_path);
   if (!sinks.fct_path.empty()) flight::WriteFctCsvFile(sinks.fct_path);
+  if (!sinks.fct_summary_path.empty()) {
+    if (sinks.fct_summary_path == "-") {
+      flight::WriteFctSummary(std::cerr, flight::TakeRunsSnapshot());
+    } else {
+      flight::WriteFctSummaryFile(sinks.fct_summary_path);
+    }
+  }
   if (!sinks.timeseries_csv_path.empty()) {
     WriteTimeSeriesCsvFile(sinks.timeseries_csv_path);
   }

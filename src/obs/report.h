@@ -18,6 +18,11 @@
 //   --latency-breakdown     queueing/serialization decomposition (also read
 //                           directly by bench_f9 / bench_f22 for their table)
 //   --fct-csv=FILE          per-flow completion/rate records -> CSV at exit
+//   --fct-summary[=FILE]    per-run FCT quantile table (p50/p90/p99/p999 from
+//                           the obs/sketch.h quantile sketch) -> FILE, or
+//                           stderr when bare; unlike --fct-csv this never
+//                           materializes per-flow records, so memory stays
+//                           O(buckets) however many flows a run completes
 //   --timeseries-csv=FILE   merged time-series buckets -> CSV at exit
 //   --timeseries-json=FILE  merged time-series buckets -> JSON at exit
 //
@@ -39,12 +44,18 @@ class CliArgs;
 namespace dcn::obs {
 
 // One row per registered metric, in registration order: counters (value),
-// gauges (max), histograms (count/mean/max), timers (count/total-ms/mean-us).
+// gauges (max), histograms (count/mean/max), timers (count/total-ms/mean-us),
+// then the sketch-layer registries (quantile sketches, heavy hitters, rollup
+// levels — obs/sketch.h, obs/rollup.h), which are read live from their own
+// registries rather than from `snapshot`.
 Table ReportTable(const Snapshot& snapshot);
 Table ReportTable();
 
-// {"counters": {...}, "gauges": {...}, "histograms": {...}, "timers": {...}}.
-// Counter and histogram contents are deterministic at any thread count;
+// {"counters": {...}, "gauges": {...}, "histograms": {...}, "timers": {...},
+//  "sketches": {...}, "heavy_hitters": {...}, "rollups": {...}} — the last
+// three blocks snapshot the sketch-layer registries live (always present,
+// possibly empty; schema checked by scripts/validate_stats.py). Counter,
+// histogram, and sketch contents are deterministic at any thread count;
 // timer durations are wall-clock and vary run to run.
 void WriteStatsJson(std::ostream& out, const Snapshot& snapshot);
 void WriteStatsJsonFile(const std::string& path);

@@ -1,6 +1,7 @@
 #include "sim/broadcast_sim.h"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <queue>
 #include <string>
@@ -11,6 +12,8 @@
 #include "graph/csr.h"
 #include "obs/flight.h"
 #include "obs/obs.h"
+#include "obs/rollup.h"
+#include "obs/sketch.h"
 #include "routing/route.h"
 
 namespace dcn::sim {
@@ -127,6 +130,11 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
   std::int64_t fr_in_flight = 0;
   std::uint64_t obs_deliveries = 0;
   std::uint64_t obs_drops = 0;
+  // Local telemetry accumulators (obs/sketch.h); the event loop only pays
+  // integer bucket increments and the registry merge happens once, post-run,
+  // from this thread.
+  obs::QuantileSketch delivery_sketch;
+  obs::QuantileSketch completion_sketch;
 
   auto schedule = [&](double time, EventKind kind, std::uint64_t payload) {
     events.push(Event{time, kind, payload, seq++});
@@ -221,9 +229,11 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
     message.last_delivery = now;
     if (message.measured) {
       result.delivery_latency.Add(now - message.born);
+      delivery_sketch.Add(now - message.born);
       if (message.outstanding == 0 && !message.dropped_any) {
         ++result.complete;
         result.completion_latency.Add(now - message.born);
+        completion_sketch.Add(now - message.born);
       }
     }
     replicate(copy.message, copy.child, now);
@@ -247,6 +257,43 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
   c_messages.Add(result.messages);
   c_deliveries.Add(obs_deliveries);
   c_drops.Add(obs_drops);
+
+  // Bounded telemetry: latency sketches plus per-link transmit summaries
+  // (hot links / hot relays and the link->node->tier->fabric rollup), all
+  // exact functions of the run and merged from this one thread (the
+  // heavy-hitter determinism contract in obs/sketch.h).
+  constexpr std::size_t kTopK = 16;
+  obs::HeavyHitters hot_links{kTopK};
+  obs::HeavyHitters hot_switches{kTopK};
+  obs::Rollup link_rollup = obs::MakeLinkRollup();
+  for (std::size_t link = 0; link < links.size(); ++link) {
+    const std::uint64_t tx = links[link].transmitted;
+    if (tx == 0) continue;
+    const auto [u, v] = csr.Endpoints(static_cast<graph::EdgeId>(link / 2));
+    const graph::NodeId tail = link % 2 == 0 ? u : v;  // the transmitter
+    const std::int64_t tier = csr.IsSwitch(tail) ? 1 : 0;
+    hot_links.Add(static_cast<std::int64_t>(link), tx);
+    if (tier == 1) hot_switches.Add(static_cast<std::int64_t>(tail), tx);
+    const std::array<std::int64_t, 4> groups{static_cast<std::int64_t>(link),
+                                             static_cast<std::int64_t>(tail),
+                                             tier, 0};
+    link_rollup.Add(groups, static_cast<std::int64_t>(tx));
+  }
+  static obs::SketchMetric& s_delivery =
+      obs::GetQuantileSketch("broadcast/delivery_latency");
+  static obs::SketchMetric& s_completion =
+      obs::GetQuantileSketch("broadcast/completion_latency");
+  static obs::HeavyHittersMetric& h_links =
+      obs::GetHeavyHitters("broadcast/hot_links", kTopK);
+  static obs::HeavyHittersMetric& h_switches =
+      obs::GetHeavyHitters("broadcast/hot_switches", kTopK);
+  static obs::RollupMetric& r_links =
+      obs::GetRollup("broadcast/links", obs::LinkRollupLevels());
+  s_delivery.Merge(delivery_sketch);
+  s_completion.Merge(completion_sketch);
+  h_links.Merge(hot_links);
+  h_switches.Merge(hot_switches);
+  r_links.Merge(link_rollup);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "obs/flight.h"
 #include "obs/obs.h"
+#include "obs/sketch.h"
 
 namespace dcn::sim {
 
@@ -145,6 +146,18 @@ FlowSimResult MaxMinFairRatesWithDemands(const graph::Graph& graph,
       fr->Flow(obs::flight::FlowKind::kRate, static_cast<std::uint32_t>(f),
                /*bytes=*/0.0, result.rates[f]);
     }
+  }
+  // Bounded rate-distribution telemetry, top-level calls only: fluid invokes
+  // this solver once per draining event, and those inner allocations are
+  // transient — the converged rates fluid reports flow through its own sinks.
+  if (!flight_run.nested()) {
+    obs::QuantileSketch rates;
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (routes[f].Empty() && !count_empty_as_zero) continue;
+      rates.Add(result.rates[f]);
+    }
+    static obs::SketchMetric& s_rates = obs::GetQuantileSketch("flowsim/rates");
+    s_rates.Merge(rates);
   }
   return result;
 }

@@ -1,11 +1,13 @@
 #include "sim/fluid.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.h"
 #include "obs/flight.h"
 #include "obs/obs.h"
+#include "obs/sketch.h"
 #include "sim/flowsim.h"
 
 namespace dcn::sim {
@@ -32,9 +34,11 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
   std::vector<bool> done(routes.size(), false);
   // Unroutable flows never finish; self-flows finish at full NIC rate.
   std::size_t active = 0;
+  std::uint64_t unroutable = 0;
   for (std::size_t f = 0; f < routes.size(); ++f) {
     if (routes[f].Empty()) {
       done[f] = true;
+      ++unroutable;
     } else {
       ++active;
     }
@@ -43,7 +47,10 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
   static obs::Counter& c_runs = obs::GetCounter("fluid/runs");
   static obs::Counter& c_recomputations =
       obs::GetCounter("fluid/rate_recomputations");
+  static obs::Counter& c_unroutable =
+      obs::GetCounter("fluid/unroutable_flows");
   c_runs.Add(1);
+  c_unroutable.Add(unroutable);
 
   double now = 0.0;
   while (active > 0) {
@@ -85,6 +92,17 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
       fr->Flow(obs::flight::FlowKind::kFct, static_cast<std::uint32_t>(f),
                bytes[f], result.finish_time[f]);
     }
+  }
+  // Always-on FCT distribution. Unroutable flows carry +inf finish times and
+  // would poison a quantile readout, so they are counted above
+  // (fluid/unroutable_flows) and excluded here.
+  if (!flight_run.nested()) {
+    obs::QuantileSketch fct;
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (std::isfinite(result.finish_time[f])) fct.Add(result.finish_time[f]);
+    }
+    static obs::SketchMetric& s_fct = obs::GetQuantileSketch("fluid/fct");
+    s_fct.Merge(fct);
   }
   return result;
 }

@@ -1,6 +1,7 @@
 #include "sim/packetsim.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -150,6 +151,47 @@ struct ObsLocals {
   std::vector<std::uint64_t> hops;         // index: delivered hop count
 };
 
+// One delivered measured packet into the result sketches. Called at the
+// exact same logical point by every engine: inline at delivery in the serial
+// loop, and from the coordinator's (time, key)-merged delivery replay in the
+// sharded loop — and since sketch adds are integer bucket increments, the
+// readouts are identical either way.
+void AddDeliveryTelemetry(PacketTelemetry& telemetry, double latency,
+                          std::uint32_t hops) {
+  telemetry.latency.Add(latency);
+  telemetry.slowdown.Add(latency /
+                         (static_cast<double>(hops) * kServiceTime));
+}
+
+// Post-run per-element summaries from the exact transmit / delivery counts —
+// pure functions of state both engine families agree on byte-for-byte.
+template <typename LinkStore>
+void FinalizeTelemetry(PacketTelemetry& telemetry, const graph::CsrView& csr,
+                       std::size_t link_count, const LinkStore& links,
+                       const std::vector<std::uint64_t>& flow_delivered) {
+  for (std::size_t link = 0; link < link_count; ++link) {
+    const std::uint64_t tx = links.Transmitted(link);
+    if (tx == 0) continue;
+    const auto [u, v] = csr.Endpoints(static_cast<graph::EdgeId>(link / 2));
+    const graph::NodeId tail = link % 2 == 0 ? u : v;  // the transmitter
+    const std::int64_t tier = csr.IsSwitch(tail) ? 1 : 0;
+    telemetry.hot_links.Add(static_cast<std::int64_t>(link), tx);
+    if (tier == 1) {
+      telemetry.hot_switches.Add(static_cast<std::int64_t>(tail), tx);
+    }
+    const std::array<std::int64_t, 4> groups{static_cast<std::int64_t>(link),
+                                             static_cast<std::int64_t>(tail),
+                                             tier, 0};
+    telemetry.links.Add(groups, static_cast<std::int64_t>(tx));
+  }
+  for (std::size_t route = 0; route < flow_delivered.size(); ++route) {
+    if (flow_delivered[route] != 0) {
+      telemetry.elephant_flows.Add(static_cast<std::int64_t>(route),
+                                   flow_delivered[route]);
+    }
+  }
+}
+
 void FlushObs(const PacketSimResult& result, const ObsLocals& obs) {
   // Every value is an exact count determined by (graph, routes, config), so
   // merged obs readouts are as reproducible as the simulation itself.
@@ -173,6 +215,26 @@ void FlushObs(const PacketSimResult& result, const ObsLocals& obs) {
   for (std::size_t hops = 0; hops < obs.hops.size(); ++hops) {
     h_hops.Add(static_cast<std::int64_t>(hops), obs.hops[hops]);
   }
+  // Telemetry merges run here on the calling thread: sketch/rollup merges are
+  // order-free, and feeding the heavy hitters from one thread per run is the
+  // determinism contract in obs/sketch.h.
+  static obs::SketchMetric& s_latency = obs::GetQuantileSketch("packetsim/latency");
+  static obs::SketchMetric& s_slowdown =
+      obs::GetQuantileSketch("packetsim/slowdown");
+  static obs::HeavyHittersMetric& h_links =
+      obs::GetHeavyHitters("packetsim/hot_links", PacketTelemetry::kTopK);
+  static obs::HeavyHittersMetric& h_switches =
+      obs::GetHeavyHitters("packetsim/hot_switches", PacketTelemetry::kTopK);
+  static obs::HeavyHittersMetric& h_flows =
+      obs::GetHeavyHitters("packetsim/elephant_flows", PacketTelemetry::kTopK);
+  static obs::RollupMetric& r_links =
+      obs::GetRollup("packetsim/links", obs::LinkRollupLevels());
+  s_latency.Merge(result.telemetry.latency);
+  s_slowdown.Merge(result.telemetry.slowdown);
+  h_links.Merge(result.telemetry.hot_links);
+  h_switches.Merge(result.telemetry.hot_switches);
+  h_flows.Merge(result.telemetry.elephant_flows);
+  r_links.Merge(result.telemetry.links);
 }
 
 // Shared flight-recorder lane namer: directed link -> "u->v".
@@ -341,6 +403,7 @@ PacketSimResult RunPacketSimSerialImpl(
   ObsLocals obs;
   obs.queue_depth.assign(static_cast<std::size_t>(config.queue_capacity) + 1, 0);
   obs.hops.assign(plan.longest_route + 1, 0);
+  std::vector<std::uint64_t> flow_delivered(plan.route_links.size(), 0);
 
   // On enqueue, a packet either joins the FIFO (starting service if the link
   // was idle) or is dropped.
@@ -426,8 +489,10 @@ PacketSimResult RunPacketSimSerialImpl(
       ++obs.hops[packet.hop];
       if (packet.measured) {
         ++result.delivered;
+        ++flow_delivered[packet.route];
         const double latency = now - packet.born;
         result.latency.Add(latency);
+        AddDeliveryTelemetry(result.telemetry, latency, packet.hop);
         if (fr_bd) fr->Delivery(latency, static_cast<int>(packet.hop));
       }
       if (fr_sample) fr->PacketDelivered(packet.rec, now);
@@ -454,6 +519,8 @@ PacketSimResult RunPacketSimSerialImpl(
 
   DCN_ASSERT(result.delivered + result.dropped <= result.measured);
   if (fr_bd) result.breakdown = fr->Breakdown();
+  FinalizeTelemetry(result.telemetry, graph.Csr(), link_count, links,
+                    flow_delivered);
   FlushObs(result, obs);
   return result;
 }
@@ -521,6 +588,7 @@ struct DeliveryRec {
   std::uint64_t key = 0;
   double latency = 0.0;
   std::uint32_t hops = 0;
+  std::uint32_t route = 0;
 };
 
 // Buffered flight-recorder call. `sub` fixes the intra-event call sequence to
@@ -642,6 +710,7 @@ PacketSimResult RunPacketSimMultipathSharded(
                                     flight::Recorder::kNotSampled);
   std::vector<DeliveryRec> merge_deliveries;
   std::vector<FlightOp> merge_ops;
+  std::vector<std::uint64_t> flow_delivered(plan.route_links.size(), 0);
 
   auto open_window = [&](double next) {
     if (next == kNever) {
@@ -672,6 +741,8 @@ PacketSimResult RunPacketSimMultipathSharded(
               });
     for (const DeliveryRec& d : merge_deliveries) {
       result.latency.Add(d.latency);
+      ++flow_delivered[d.route];
+      AddDeliveryTelemetry(result.telemetry, d.latency, d.hops);
       if (fr_bd) fr->Delivery(d.latency, static_cast<int>(d.hops));
     }
     if (fr != nullptr) {
@@ -834,7 +905,8 @@ PacketSimResult RunPacketSimMultipathSharded(
             ++m.hops_hist[p.hop];
             if (p.measured) {
               ++m.delivered;
-              m.deliveries.push_back({e.time, e.key, e.time - p.born, p.hop});
+              m.deliveries.push_back(
+                  {e.time, e.key, e.time - p.born, p.hop, p.route});
             }
             if (fr_sample && sampled[id] != 0) {
               m.ops.push_back(
@@ -908,6 +980,8 @@ PacketSimResult RunPacketSimMultipathSharded(
 
   DCN_ASSERT(result.delivered + result.dropped <= result.measured);
   if (fr_bd) result.breakdown = fr->Breakdown();
+  FinalizeTelemetry(result.telemetry, graph.Csr(), link_count, store,
+                    flow_delivered);
 
   ObsLocals obs;
   // Exact pop-count parity with the serial loop: one event per generate pop

@@ -30,6 +30,8 @@
 #include "common/stats.h"
 #include "graph/graph.h"
 #include "obs/flight.h"
+#include "obs/rollup.h"
+#include "obs/sketch.h"
 #include "routing/route.h"
 
 namespace dcn::sim {
@@ -42,6 +44,28 @@ struct PacketSimConfig {
   double warmup = 200.0;     // packets born before this are not measured
   int queue_capacity = 16;   // packets per directed-link queue (incl. in service)
   std::uint64_t seed = 0xdcf1035;
+};
+
+// Always-on bounded telemetry (obs/sketch.h, obs/rollup.h), computed by
+// every engine at the same merge points: the sketches fill in the serial
+// engine's delivery order (their integer bucket merges are commutative
+// anyway), the per-element summaries from the exact post-run per-link
+// transmit and per-route delivery counts. Byte-identical across
+// RunPacketSim / RunPacketSimSerial / RunPacketSimLegacyBaseline and at any
+// DCN_THREADS, with or without any flight-recorder flag. O(buckets + K)
+// export however much traffic ran.
+struct PacketTelemetry {
+  static constexpr std::size_t kTopK = 16;
+  obs::QuantileSketch latency;   // end-to-end, measured delivered packets
+  // latency / (hops * service time): 1.0 is an uncongested path, the
+  // packet-level analogue of FCT slowdown.
+  obs::QuantileSketch slowdown;
+  obs::HeavyHitters hot_links{kTopK};      // packets transmitted per directed link
+  obs::HeavyHitters hot_switches{kTopK};   // ... per transmitting switch
+  obs::HeavyHitters elephant_flows{kTopK}; // measured deliveries per route
+  // Transmit counts aggregated link -> transmitting node -> tier
+  // (0 server, 1 switch) -> fabric.
+  obs::Rollup links = obs::MakeLinkRollup();
 };
 
 struct PacketSimResult {
@@ -62,6 +86,9 @@ struct PacketSimResult {
   // packet. Populated only when the flight recorder's latency breakdown is
   // on (obs/flight.h, --latency-breakdown); enabled == false otherwise.
   obs::flight::LatencyBreakdown breakdown;
+  // Bounded sketches/heavy hitters/rollups; always populated, also merged
+  // into the obs registry ("packetsim/latency", "packetsim/hot_links", ...).
+  PacketTelemetry telemetry;
   double DeliveredFraction() const {
     return measured == 0 ? 0.0
                          : static_cast<double>(delivered) / static_cast<double>(measured);
