@@ -1,6 +1,7 @@
 // F12 (ablation) — throughput under failures: how does permutation ABT decay
 // as servers and switches die, when every surviving flow is re-routed by the
 // fault-tolerant router?
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
@@ -8,6 +9,7 @@
 #include "graph/bfs.h"
 #include "routing/fault_routing.h"
 #include "sim/failures.h"
+#include "sim/packetsim.h"
 #include "topology/abccc.h"
 #include "topology/bcube.h"
 
@@ -17,11 +19,20 @@ int main(int argc, char** argv) {
   bench::PrintHeader("F12", "permutation throughput under accumulating failures");
 
   Table table{{"config", "fail-rate", "live-flows", "routed", "agg-rate",
-               "ABT(live)"}};
+               "ABT(live)", "alarms", "ttd-med"}};
   Rng rng{bench::kDefaultSeed};
   const std::vector<topo::AbcccParams> configs{{4, 2, 2}, {4, 2, 3}};
   for (const topo::AbcccParams& params : configs) {
     const topo::Abccc net{params};
+    // Packet-level detection view (fresh RNG streams only, so the flow-level
+    // columns stay byte-identical): the same failure draw replayed as a
+    // mid-run mass kill at t=600 under the online health monitor
+    // (obs/monitor.h). The rate-0 row doubles as the false-alarm control.
+    Rng mon_rng{bench::kDefaultSeed + 99};
+    const std::vector<sim::Flow> mon_flows =
+        sim::PermutationTraffic(net, mon_rng);
+    const std::vector<routing::Route> mon_routes =
+        bench::NativeRoutes(net, mon_flows);
     for (double rate : {0.0, 0.02, 0.05, 0.10}) {
       Rng fail_rng{bench::kDefaultSeed + static_cast<std::uint64_t>(rate * 1e4)};
       const graph::FailureSet failures =
@@ -47,18 +58,48 @@ int main(int argc, char** argv) {
       const sim::FlowSimResult result =
           sim::MaxMinFairRates(net.Network(), routes, 1.0,
                                /*count_empty_as_zero=*/false);
+
+      sim::FaultSchedule schedule;
+      for (graph::NodeId n = 0;
+           n < static_cast<graph::NodeId>(net.Network().NodeCount()); ++n) {
+        if (failures.NodeDead(n)) schedule.KillNode(600.0, n);
+      }
+      sim::PacketSimConfig mon_config;
+      mon_config.offered_load = 0.1;  // stable: fault-free drops nothing
+      mon_config.duration = 1200;
+      mon_config.warmup = 100;
+      mon_config.queue_capacity = 64;
+      mon_config.monitor.enabled = true;
+      mon_config.monitor.window_width = 50;
+      mon_config.faults = schedule;
+      const sim::PacketSimResult mon_result =
+          sim::RunPacketSim(net.Network(), mon_routes, mon_config);
+      std::vector<double> ttds;
+      for (const sim::DetectionOutcome& o : sim::MatchDetections(
+               net.Network(), schedule, mon_result.monitor)) {
+        if (o.detected) ttds.push_back(o.ttd);
+      }
+      std::sort(ttds.begin(), ttds.end());
+
       table.AddRow({net.Describe(), Table::Percent(rate, 0),
                     Table::Cell(alive.size()),
                     Table::Percent(static_cast<double>(routed) /
                                        static_cast<double>(alive.size()),
                                    1),
                     Table::Cell(result.aggregate, 1),
-                    Table::Cell(result.abt, 1)});
+                    Table::Cell(result.abt, 1),
+                    Table::Cell(mon_result.monitor.FireCount()),
+                    ttds.empty() ? std::string{"-"}
+                                 : Table::Cell(ttds[ttds.size() / 2], 0)});
     }
   }
   table.Print(std::cout, "F12: graceful degradation");
   std::cout << "\nExpected shape: throughput decays roughly in proportion to "
                "the failed fraction (graceful degradation), with no cliff — "
-               "the multi-plane structure keeps surviving flows routable.\n";
+               "the multi-plane structure keeps surviving flows routable. "
+               "The detection columns replay each failure draw as a mid-run "
+               "mass kill: zero alarms at rate 0, alarm counts growing with "
+               "the failed fraction, and a median time-to-detect of a few "
+               "monitor windows throughout.\n";
   return 0;
 }

@@ -112,6 +112,13 @@ EXACT_OBS_FIELDS = (
     "obs_p99_slowdown",
     "obs_p999_slowdown",
     "obs_telemetry_buckets",
+    # Health-monitor detection readouts of the pinned faulted packetsim run
+    # (obs/monitor.h): alert counts and window-granular detection latency
+    # are integer-exact at fixed seeds, and the control run must stay at
+    # zero false alarms.
+    "obs_alerts_fired",
+    "obs_ttd_windows",
+    "obs_false_alarms",
 )
 
 

@@ -81,6 +81,20 @@ grep -q '| fluid |' build/f23_fct_summary.txt || {
 python3 scripts/validate_trace.py build/trace_scaling.json \
   --expect-span msbfs/batch --expect-span parallel/chunk \
   --expect-thread pool-worker-0
+# The health monitor (obs/monitor.h) must export a schema-valid alert log on
+# all three sinks: the standalone --alerts-json document, the "alerts" block
+# inside --stats-json, and alert instant events in the Chrome trace.
+# validate_stats.py additionally proves the fault-free control runs fired
+# zero alarms while the faulted runs really fired (--expect-fired).
+./build/bench/bench_f24_detection --threads=4 \
+  --alerts-json=build/f24_alerts.json \
+  --stats-json=build/f24_stats.json \
+  --trace-out=build/trace_f24.json > /dev/null
+python3 scripts/validate_stats.py build/f24_alerts.json --alerts --expect-fired
+python3 scripts/validate_stats.py build/f24_stats.json \
+  --expect-counter monitor/runs --expect-counter monitor/alerts_fired \
+  --expect-fired
+python3 scripts/validate_trace.py build/trace_f24.json --expect-alert
 
 if [ "$BENCH" -eq 1 ]; then
   echo

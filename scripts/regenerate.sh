@@ -16,7 +16,11 @@ for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
   name="$(basename "$b")"
   echo "== $name ==" | tee -a bench_output.txt
-  "$b" | tee "results/$name.txt" | tee -a bench_output.txt
+  extra=()
+  # The detection bench also re-exports its alert log (a regeneration
+  # artifact like the flight CSVs — results/*_alerts.json is gitignored).
+  [ "$name" = bench_f24_detection ] &&     extra=(--alerts-json="results/${name%_detection}_alerts.json")
+  "$b" ${extra+"${extra[@]}"} | tee "results/$name.txt" | tee -a bench_output.txt
 done
 
 echo

@@ -19,13 +19,23 @@ sketch-layer blocks (obs/sketch.h, obs/rollup.h) are internally consistent:
     (each level's total IS the flat sum — that is the rollup invariant),
     with max_group.total <= total and per-level quantile count == groups.
 
+  * the alerts block (obs/monitor.h) holds a 'runs' array whose entries
+    carry monotone non-decreasing event times, entity indices inside the
+    registered entity count, fired/cleared totals matching the event list,
+    recovery arrays sized to the window count — and zero fires whenever the
+    run scheduled no faults (no false alarms on fault-free runs).
+
 Usage: validate_stats.py STATS.json [--expect-sketch NAME]
                          [--expect-heavy-hitters NAME] [--expect-rollup NAME]
-                         [--expect-counter NAME]
+                         [--expect-counter NAME] [--expect-fired]
+                         [--alerts]
 
 The --expect-* flags (repeatable) additionally require a named entry with
 nonzero data — CI uses them to prove a telemetry-enabled benchmark really
-exported sketches, heavy hitters, and rollups.
+exported sketches, heavy hitters, and rollups; --expect-fired requires at
+least one fired alert across monitor runs. With --alerts the input is a
+standalone --alerts-json document (the bare {"runs": [...]} object) and only
+the alerts schema is checked.
 
 Exits 0 when valid; prints every violation and exits 1 otherwise.
 """
@@ -42,6 +52,7 @@ BLOCKS = (
     "sketches",
     "heavy_hitters",
     "rollups",
+    "alerts",
 )
 
 
@@ -188,6 +199,83 @@ def validate_rollup(name, rollup, errors):
         errors.append(f"{where}: level leaf counts disagree ({sorted(leaves)})")
 
 
+def validate_alerts(alerts, errors):
+    """Checks one {"runs": [...]} document (stats block or --alerts-json)."""
+    where = "alerts"
+    if not isinstance(alerts, dict) or not isinstance(
+            alerts.get("runs"), list):
+        errors.append(f"{where}: needs an object with a 'runs' array")
+        return 0
+    fired_total = 0
+    for i, run in enumerate(alerts["runs"]):
+        rw = f"{where}.runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{rw}: not an object")
+            continue
+        for field in ("run", "windows", "entities", "faults_scheduled",
+                      "fired", "cleared", "breach_windows"):
+            if not is_int(run.get(field)) or run[field] < 0:
+                errors.append(f"{rw}: missing non-negative integer {field!r}")
+                break
+        else:
+            if not isinstance(run.get("sim"), str):
+                errors.append(f"{rw}: missing string 'sim'")
+            events = run.get("events")
+            if not isinstance(events, list):
+                errors.append(f"{rw}: missing 'events' array")
+                continue
+            fires = sum(1 for e in events if isinstance(e, dict)
+                        and e.get("kind") == "fire")
+            clears = sum(1 for e in events if isinstance(e, dict)
+                         and e.get("kind") == "clear")
+            if fires != run["fired"] or clears != run["cleared"]:
+                errors.append(
+                    f"{rw}: fired/cleared ({run['fired']}/{run['cleared']}) "
+                    f"disagree with the event list ({fires}/{clears})")
+            if run["faults_scheduled"] == 0 and run["fired"] > 0:
+                errors.append(
+                    f"{rw}: {run['fired']} alarms fired on a fault-free run")
+            fired_total += fires
+            previous = None
+            for j, event in enumerate(events):
+                ew = f"{rw}.events[{j}]"
+                if not isinstance(event, dict):
+                    errors.append(f"{ew}: not an object")
+                    continue
+                if event.get("kind") not in ("fire", "clear"):
+                    errors.append(f"{ew}: kind must be 'fire' or 'clear'")
+                if not isinstance(event.get("entity"), str) or ":" not in                         event.get("entity", ""):
+                    errors.append(f"{ew}: missing 'kind:id' entity string")
+                index = event.get("entity_index")
+                if not is_int(index) or not 0 <= index < run["entities"]:
+                    errors.append(
+                        f"{ew}: entity_index outside the registered "
+                        f"{run['entities']} entities")
+                time = event.get("time")
+                window = event.get("window")
+                if not is_num(time) or not is_int(window) or window < 0:
+                    errors.append(f"{ew}: needs numeric time / integer window")
+                    continue
+                if previous is not None and (window, time) < previous:
+                    errors.append(
+                        f"{ew}: alert log not in window order")
+                previous = (window, time)
+            recovery = run.get("recovery")
+            if not isinstance(recovery, dict):
+                errors.append(f"{rw}: missing 'recovery' object")
+                continue
+            for series in ("delivered", "latency_sum", "dropped"):
+                values = recovery.get(series)
+                if not isinstance(values, list) or len(values) !=                         run["windows"]:
+                    errors.append(
+                        f"{rw}: recovery[{series!r}] must hold one value "
+                        f"per window ({run['windows']})")
+                elif not all(is_num(v) and v >= 0 for v in values):
+                    errors.append(
+                        f"{rw}: recovery[{series!r}] values must be >= 0")
+    return fired_total
+
+
 def validate(stats, args):
     errors = []
     if not isinstance(stats, dict):
@@ -217,6 +305,9 @@ def validate(stats, args):
         validate_heavy_hitters(name, hitters, errors)
     for name, rollup in stats["rollups"].items():
         validate_rollup(name, rollup, errors)
+    fired = validate_alerts(stats["alerts"], errors)
+    if args.expect_fired and fired == 0:
+        errors.append("expected at least one fired alert across monitor runs")
 
     for name in args.expect_sketch:
         sketch = stats["sketches"].get(name)
@@ -246,6 +337,10 @@ def main():
     parser.add_argument("--expect-heavy-hitters", action="append", default=[])
     parser.add_argument("--expect-rollup", action="append", default=[])
     parser.add_argument("--expect-counter", action="append", default=[])
+    parser.add_argument("--expect-fired", action="store_true",
+                        help="require at least one fired alert")
+    parser.add_argument("--alerts", action="store_true",
+                        help="input is a standalone --alerts-json document")
     args = parser.parse_args()
 
     try:
@@ -254,6 +349,22 @@ def main():
     except (OSError, json.JSONDecodeError) as error:
         print(f"{args.stats}: {error}", file=sys.stderr)
         return 1
+
+    if args.alerts:
+        errors = []
+        fired = validate_alerts(stats, errors)
+        if args.expect_fired and fired == 0:
+            errors.append(
+                "expected at least one fired alert across monitor runs")
+        if errors:
+            for error in errors:
+                print(f"{args.stats}: {error}", file=sys.stderr)
+            print(f"{args.stats}: INVALID ({len(errors)} violations)",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.stats}: OK ({len(stats['runs'])} monitor runs, "
+              f"{fired} fired)")
+        return 0
 
     errors = validate(stats, args)
     if errors:

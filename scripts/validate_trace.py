@@ -14,16 +14,21 @@ chrome://tracing and Perfetto load:
     carry an args object with integer packet/source/hop >= 0, numeric
     wait/service >= 0, and boolean measured;
   * flow events ("s"/"f") carry name/cat/id/pid/tid and numeric ts >= 0, and
-    every flow id has exactly one start and one matching finish.
+    every flow id has exactly one start and one matching finish;
+  * "i" instant events (health-monitor alerts, obs/monitor.h) carry
+    name/cat/pid/tid, numeric ts >= 0, and an optional scope "s" in g/p/t.
 
 Usage: validate_trace.py TRACE.json [--expect-span NAME]
                          [--expect-thread NAME] [--expect-flight]
+                         [--expect-alert]
 
 --expect-span / --expect-thread (repeatable) additionally require that a span
 or thread-lane with that exact name appears — CI uses them to prove a traced
 benchmark really produced sim/kernel spans and pool-worker lanes.
 --expect-flight requires at least one flight X event and one matched flow
 start/finish pair, proving packet sampling really recorded lifecycles.
+--expect-alert requires at least one cat == "monitor" instant event, proving
+the health monitor really exported fired alerts into the trace.
 
 Exits 0 when valid; prints every violation and exits 1 otherwise.
 """
@@ -33,7 +38,8 @@ import json
 import sys
 
 
-def validate(events, expect_spans, expect_threads, expect_flight):
+def validate(events, expect_spans, expect_threads, expect_flight,
+             expect_alert):
     errors = []
     if not isinstance(events, list):
         return ["top-level JSON value must be an array of trace events"]
@@ -42,6 +48,7 @@ def validate(events, expect_spans, expect_threads, expect_flight):
     span_names = set()
     thread_names = set()
     flight_events = 0
+    alert_events = 0
     flow_starts = {}  # id -> count
     flow_finishes = {}  # id -> count
     for i, event in enumerate(events):
@@ -91,6 +98,24 @@ def validate(events, expect_spans, expect_threads, expect_flight):
                         f"tid={lane[1]} (previous {last_ts[lane]})"
                     )
                 last_ts[lane] = max(last_ts.get(lane, ts), ts)
+        elif ph == "i":
+            for key in ("name", "cat"):
+                if not isinstance(event.get(key), str) or not event.get(key):
+                    errors.append(f"{where}: missing or non-string '{key}'")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    errors.append(f"{where}: missing or non-integer '{key}'")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                errors.append(f"{where}: missing or non-numeric 'ts'")
+            elif ts < 0:
+                errors.append(f"{where}: negative 'ts' ({ts})")
+            if "s" in event and event["s"] not in ("g", "p", "t"):
+                errors.append(
+                    f"{where}: instant scope 's' must be 'g', 'p', or 't'"
+                )
+            if event.get("cat") == "monitor":
+                alert_events += 1
         elif ph in ("s", "f"):
             for key in ("name", "cat"):
                 if not isinstance(event.get(key), str) or not event.get(key):
@@ -109,7 +134,8 @@ def validate(events, expect_spans, expect_threads, expect_flight):
                 side[flow_id] = side.get(flow_id, 0) + 1
         else:
             errors.append(
-                f"{where}: unexpected phase {ph!r} (obs emits only M, X, s, f)"
+                f"{where}: unexpected phase {ph!r} "
+                "(obs emits only M, X, s, f, i)"
             )
 
     for flow_id, count in sorted(flow_starts.items()):
@@ -135,6 +161,9 @@ def validate(events, expect_spans, expect_threads, expect_flight):
         matched = [f for f in flow_starts if flow_finishes.get(f, 0) == 1]
         if not matched:
             errors.append("no matched flow start/finish pair in the trace")
+    if expect_alert and alert_events == 0:
+        errors.append(
+            "no monitor 'i' events (cat == \"monitor\") in the trace")
     return errors
 
 
@@ -169,6 +198,7 @@ def main():
     parser.add_argument("--expect-span", action="append", default=[])
     parser.add_argument("--expect-thread", action="append", default=[])
     parser.add_argument("--expect-flight", action="store_true")
+    parser.add_argument("--expect-alert", action="store_true")
     args = parser.parse_args()
 
     try:
@@ -179,7 +209,7 @@ def main():
         return 1
 
     errors = validate(events, args.expect_span, args.expect_thread,
-                      args.expect_flight)
+                      args.expect_flight, args.expect_alert)
     if errors:
         for error in errors[:50]:
             print(f"{args.trace}: {error}", file=sys.stderr)
@@ -190,9 +220,11 @@ def main():
     complete = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "X")
     lanes = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "M")
     flows = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "s")
+    alerts = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "i")
     print(
         f"{args.trace}: valid Chrome trace "
-        f"({complete} spans, {lanes} metadata lanes, {flows} packet flows)"
+        f"({complete} spans, {lanes} metadata lanes, {flows} packet flows, "
+        f"{alerts} alerts)"
     )
     return 0
 

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "obs/flight.h"
+#include "obs/monitor.h"
 #include "obs/rollup.h"
 #include "obs/sketch.h"
 #include "obs/timeseries.h"
@@ -327,6 +328,7 @@ void Reset() {
   detail::ResetSketchRegistry();
   detail::ResetRollupRegistry();
   flight::detail::ResetRuns();
+  monitor::detail::ResetRuns();
 }
 
 Snapshot TakeSnapshot() {

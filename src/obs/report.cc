@@ -10,6 +10,7 @@
 #include "common/cli.h"
 #include "common/error.h"
 #include "obs/flight.h"
+#include "obs/monitor.h"
 #include "obs/rollup.h"
 #include "obs/sketch.h"
 #include "obs/timeseries.h"
@@ -26,6 +27,7 @@ struct SinkConfig {
   std::string fct_summary_path;  // "-" prints to stderr (bare --fct-summary)
   std::string timeseries_csv_path;
   std::string timeseries_json_path;
+  std::string alerts_path;
   bool report_to_stderr = false;
 };
 
@@ -240,7 +242,14 @@ void WriteStatsJson(std::ostream& out, const Snapshot& snapshot) {
     }
     out << "\n  ]}";
   }
-  out << "\n}\n}\n";
+  out << "\n},\n";
+
+  // Online-monitor alert log (obs/monitor.h): the same {"runs": [...]}
+  // document --alerts-json writes standalone. Always present, possibly with
+  // an empty runs array; schema-checked by scripts/validate_stats.py.
+  out << "\"alerts\": ";
+  monitor::WriteAlertsJson(out, monitor::SnapshotRuns());
+  out << "\n}\n";
 }
 
 void WriteStatsJsonFile(const std::string& path) {
@@ -268,6 +277,7 @@ void ConfigureSinks(const CliArgs& args) {
       args.GetString("timeseries-csv", g_sinks.timeseries_csv_path);
   g_sinks.timeseries_json_path =
       args.GetString("timeseries-json", g_sinks.timeseries_json_path);
+  g_sinks.alerts_path = args.GetString("alerts-json", g_sinks.alerts_path);
   g_sinks.report_to_stderr = args.GetBool("obs-report", g_sinks.report_to_stderr);
   if (!g_sinks.stats_path.empty() || g_sinks.report_to_stderr) {
     EnableSpans(true);
@@ -315,6 +325,9 @@ void FlushSinks() {
   }
   if (!sinks.timeseries_json_path.empty()) {
     WriteTimeSeriesJsonFile(sinks.timeseries_json_path);
+  }
+  if (!sinks.alerts_path.empty()) {
+    monitor::WriteAlertsJsonFile(sinks.alerts_path);
   }
   if (sinks.report_to_stderr) {
     ReportTable().Print(std::cerr, "obs: merged instrumentation report");

@@ -8,6 +8,10 @@
 //                       flight-recorder packet lanes when sampling is on
 //   --obs-report        print ReportTable() to stderr at exit (stderr so the
 //                       diff-able stdout tables stay byte-identical)
+//   --alerts-json=FILE  write the online health monitor's published runs
+//                       (obs/monitor.h: alert log + per-window recovery
+//                       aggregates) as JSON at exit; the same document is
+//                       embedded in --stats-json as the "alerts" block
 //
 // Flight-recorder flags (obs/flight.h); any of them enables the recorder:
 //
@@ -52,11 +56,12 @@ Table ReportTable(const Snapshot& snapshot);
 Table ReportTable();
 
 // {"counters": {...}, "gauges": {...}, "histograms": {...}, "timers": {...},
-//  "sketches": {...}, "heavy_hitters": {...}, "rollups": {...}} — the last
-// three blocks snapshot the sketch-layer registries live (always present,
-// possibly empty; schema checked by scripts/validate_stats.py). Counter,
-// histogram, and sketch contents are deterministic at any thread count;
-// timer durations are wall-clock and vary run to run.
+//  "sketches": {...}, "heavy_hitters": {...}, "rollups": {...},
+//  "alerts": {...}} — the sketch-layer blocks snapshot their registries live
+// and "alerts" embeds the monitor's published runs (always present, possibly
+// empty; schema checked by scripts/validate_stats.py). Counter, histogram,
+// sketch, and alert contents are deterministic at any thread count; timer
+// durations are wall-clock and vary run to run.
 void WriteStatsJson(std::ostream& out, const Snapshot& snapshot);
 void WriteStatsJsonFile(const std::string& path);
 

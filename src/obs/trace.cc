@@ -152,6 +152,39 @@ void EmitFlightRun(std::ostream& out, const flight::RunSnapshot& run,
   }
 }
 
+// Monitor alert args carry the detector's Q16.16 internals; the trace viewer
+// only needs enough precision to read them, not bit-exact round-trips.
+std::string FromQ16(std::int64_t q) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(q) / 65536.0);
+  return buf;
+}
+
+void EmitMonitorRun(std::ostream& out, const monitor::MonitorRunSnapshot& run,
+                    const std::function<void()>& comma) {
+  if (run.result.alerts.empty()) return;
+  const int pid = 900 + run.run;
+  comma();
+  out << R"({"ph": "M", "name": "process_name", "pid": )" << pid
+      << R"(, "tid": 0, "ts": 0, "args": {"name": "monitor:)"
+      << JsonEscape(run.sim) << " run " << run.run << R"("}})";
+  for (const monitor::Alert& alert : run.result.alerts) {
+    const bool fire = alert.kind == monitor::AlertKind::kFire;
+    const monitor::EntityInfo& entity = run.result.entities[alert.entity];
+    const char* entity_kind =
+        entity.kind == monitor::EntityKind::kLink ? "link" : "node";
+    comma();
+    out << R"({"ph": "i", "name": ")" << (fire ? "alert:fire" : "alert:clear")
+        << R"(", "cat": "monitor", "s": "p", "pid": )" << pid << R"(, "tid": )"
+        << alert.entity << R"(, "ts": )" << SimUs(alert.time)
+        << R"(, "args": {"entity": ")" << entity_kind << ':' << entity.key
+        << R"(", "signal": ")"
+        << JsonEscape(run.result.signals[alert.signal]) << R"(", "value": )"
+        << alert.value << R"(, "baseline": )" << FromQ16(alert.baseline_q)
+        << R"(, "cusum": )" << FromQ16(alert.cusum_q) << "}}";
+  }
+}
+
 }  // namespace
 
 void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot) {
@@ -160,6 +193,13 @@ void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot) {
 
 void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot,
                       const std::vector<flight::RunSnapshot>& runs) {
+  WriteChromeTrace(out, snapshot, runs, {});
+}
+
+void WriteChromeTrace(
+    std::ostream& out, const Snapshot& snapshot,
+    const std::vector<flight::RunSnapshot>& runs,
+    const std::vector<monitor::MonitorRunSnapshot>& monitors) {
   out << "[\n";
   bool first = true;
   const auto comma = [&] {
@@ -182,15 +222,20 @@ void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot,
   for (const flight::RunSnapshot& run : runs) {
     EmitFlightRun(out, run, comma);
   }
+  for (const monitor::MonitorRunSnapshot& run : monitors) {
+    EmitMonitorRun(out, run, comma);
+  }
   out << "\n]\n";
 }
 
 void WriteChromeTraceFile(const std::string& path) {
   const Snapshot snapshot = TakeSnapshot();
   const std::vector<flight::RunSnapshot> runs = flight::TakeRunsSnapshot();
+  const std::vector<monitor::MonitorRunSnapshot> monitors =
+      monitor::SnapshotRuns();
   std::ofstream out{path};
   DCN_REQUIRE(out.good(), "cannot open trace output file: " + path);
-  WriteChromeTrace(out, snapshot, runs);
+  WriteChromeTrace(out, snapshot, runs, monitors);
   out.flush();
   DCN_REQUIRE(out.good(), "failed writing trace output file: " + path);
 }

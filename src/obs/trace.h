@@ -18,6 +18,14 @@
 // and one flow-finish (`ph:"f"`, bp:"e") at delivery or drop, with a
 // matching id, so the packet's path renders as arrows across link lanes.
 // Flight timestamps are simulated time written as microseconds.
+//
+// Health-monitor runs (obs/monitor.h), when present, add one process per
+// published run (pid = 900 + run id) whose `ph:"i"` instant events mark
+// alert transitions: name "alert:fire" / "alert:clear", cat "monitor",
+// scope "p" (process), ts = the alert's window-close time in simulated
+// microseconds, tid = the monitored entity's index, args = {entity, signal,
+// value, baseline, cusum}. Firing links stand out as vertical markers next
+// to the flight lanes of the same run.
 #pragma once
 
 #include <iosfwd>
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "obs/flight.h"
+#include "obs/monitor.h"
 #include "obs/obs.h"
 
 namespace dcn::obs {
@@ -37,9 +46,14 @@ void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot);
 void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot,
                       const std::vector<flight::RunSnapshot>& runs);
 
-// TakeSnapshot() + flight::TakeRunsSnapshot() + WriteChromeTrace to `path`;
-// throws InvalidArgument when the file cannot be written. Call outside
-// parallel regions and outside any active flight run.
+// As above, plus the health monitor's alert instant events.
+void WriteChromeTrace(std::ostream& out, const Snapshot& snapshot,
+                      const std::vector<flight::RunSnapshot>& runs,
+                      const std::vector<monitor::MonitorRunSnapshot>& monitors);
+
+// TakeSnapshot() + flight::TakeRunsSnapshot() + monitor::SnapshotRuns() +
+// WriteChromeTrace to `path`; throws InvalidArgument when the file cannot be
+// written. Call outside parallel regions and outside any active flight run.
 void WriteChromeTraceFile(const std::string& path);
 
 }  // namespace dcn::obs

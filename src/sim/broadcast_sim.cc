@@ -115,6 +115,19 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
   Rng rng{config.seed};
   BroadcastSimResult result;
 
+  // Mid-run faults + online monitor (sim/failures.h, obs/monitor.h): same
+  // drain-then-dead capacity semantics and floor(time / width) window
+  // attribution as sim/packetsim.cc. Neither touches `rng`.
+  const std::size_t link_count = graph.EdgeCount() * 2;
+  const std::vector<LinkCapOp> fault_ops =
+      config.faults.Empty()
+          ? std::vector<LinkCapOp>{}
+          : ExpandFaultSchedule(graph, config.faults, config.queue_capacity);
+  std::vector<std::int32_t> caps;
+  if (!fault_ops.empty()) caps.assign(link_count, config.queue_capacity);
+  std::size_t fault_cursor = 0;
+  LinkHealthHarness mon(graph, link_count, config.monitor, config.duration);
+
   // Flight recorder: observes copies (the unit that queues on links), never
   // draws from `rng` — byte-identical results with the recorder on or off.
   flight::RunScope flight_run{
@@ -142,12 +155,14 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
 
   auto enqueue = [&](std::uint32_t copy_id, std::uint64_t link, double now) {
     LinkQueue& q = links[link];
-    if (static_cast<int>(q.copies.size()) >= config.queue_capacity) {
+    const std::int32_t cap = caps.empty() ? config.queue_capacity : caps[link];
+    if (static_cast<int>(q.copies.size()) >= cap) {
       MessageState& message = messages[pool[copy_id].message];
       message.dropped_any = true;
       --message.outstanding;
       if (message.measured) ++result.copies_dropped;
       ++obs_drops;
+      if (mon.on()) mon.CountDrop(mon.WindowIndex(now), link);
       if (fr_sample) fr->PacketDropped(pool[copy_id].rec, link, now);
       if (fr_ts) fr->InFlight(now, --fr_in_flight);
       return;
@@ -187,6 +202,12 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
     const Event event = events.top();
     events.pop();
     const double now = event.time;
+    while (fault_cursor < fault_ops.size() &&
+           fault_ops[fault_cursor].time <= now) {
+      caps[fault_ops[fault_cursor].link] = fault_ops[fault_cursor].capacity;
+      ++fault_cursor;
+    }
+    if (mon.on()) mon.AdvanceTo(mon.WindowIndex(now));
 
     if (event.kind == EventKind::kGenerate) {
       if (now < config.duration) {
@@ -207,6 +228,7 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
     const std::uint32_t copy_id = q.copies.front();
     q.copies.pop_front();
     ++q.transmitted;
+    if (mon.on()) mon.CountTx(mon.WindowIndex(now), event.payload);
     if (fr_ts) fr->LinkTransmit(event.payload, now);
     if (fr_sample) fr->HopDepart(pool[copy_id].rec, now);
     if (!q.copies.empty()) {
@@ -230,6 +252,7 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
     if (message.measured) {
       result.delivery_latency.Add(now - message.born);
       delivery_sketch.Add(now - message.born);
+      if (mon.on()) mon.AddDelivery(now, now - message.born);
       if (message.outstanding == 0 && !message.dropped_any) {
         ++result.complete;
         result.completion_latency.Add(now - message.born);
@@ -294,6 +317,11 @@ BroadcastSimResult RunBroadcastSim(const graph::Graph& graph,
   h_links.Merge(hot_links);
   h_switches.Merge(hot_switches);
   r_links.Merge(link_rollup);
+  if (mon.on()) {
+    result.monitor = mon.Finish();
+    obs::monitor::PublishRun("broadcast", config.faults.events.size(),
+                             result.monitor);
+  }
   return result;
 }
 

@@ -10,7 +10,9 @@
 
 #include "common/stats.h"
 #include "graph/graph.h"
+#include "obs/monitor.h"
 #include "routing/broadcast.h"
+#include "sim/failures.h"
 
 namespace dcn::sim {
 
@@ -20,6 +22,11 @@ struct BroadcastSimConfig {
   double warmup = 200.0;      // messages born earlier are not measured
   int queue_capacity = 16;    // per directed link, incl. the copy in service
   std::uint64_t seed = 0xb40adca57;
+  // Mid-run fault schedule + online monitor, with the same semantics as
+  // sim/packetsim.h: capacity-at-enqueue faults that never touch the RNG,
+  // and an observational detector grid over per-link tx/drop windows.
+  FaultSchedule faults;
+  obs::monitor::MonitorConfig monitor;
 };
 
 struct BroadcastSimResult {
@@ -34,6 +41,8 @@ struct BroadcastSimResult {
   SampleSet delivery_latency;
   double max_link_utilization = 0.0;
   int max_queue_depth = 0;
+  // Online-monitor verdicts; populated only when config.monitor.enabled.
+  obs::monitor::MonitorResult monitor;
 
   double CompleteFraction() const {
     return measured == 0

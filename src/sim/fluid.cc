@@ -16,6 +16,15 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
                                  const std::vector<routing::Route>& routes,
                                  const std::vector<double>& bytes,
                                  double link_capacity) {
+  return FluidCompletionTimes(graph, routes, bytes, FaultSchedule{},
+                              link_capacity);
+}
+
+FluidResult FluidCompletionTimes(const graph::Graph& graph,
+                                 const std::vector<routing::Route>& routes,
+                                 const std::vector<double>& bytes,
+                                 const FaultSchedule& faults,
+                                 double link_capacity) {
   DCN_REQUIRE(routes.size() == bytes.size(), "need one byte count per flow");
   for (double b : bytes) {
     DCN_REQUIRE(b > 0, "flow sizes must be positive");
@@ -52,7 +61,56 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
   c_runs.Add(1);
   c_unroutable.Add(unroutable);
 
+  // Mid-run faults, fluid granularity: kLinkDown / kNodeDown terminate the
+  // active flows crossing the dead element at the scheduled instant and hand
+  // their capacity to the survivors; degrade/restore are queueing-level and
+  // ignored here. Applied cumulatively in time order.
+  std::vector<FaultEvent> fault_events = faults.events;
+  std::stable_sort(fault_events.begin(), fault_events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::size_t fault_cursor = 0;
+  graph::FailureSet dead{graph};
+  const auto crosses_dead = [&](const routing::Route& route) {
+    for (std::size_t h = 0; h < route.hops.size(); ++h) {
+      if (dead.NodeDead(route.hops[h])) return true;
+      if (h + 1 < route.hops.size() &&
+          dead.EdgeDead(graph.Csr().FindEdge(route.hops[h],
+                                             route.hops[h + 1]))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Applies every fault due at or before `now`; returns true when a kill
+  // event landed (degrades never change the fluid picture).
+  const auto apply_due_faults = [&](double now) {
+    bool killed = false;
+    while (fault_cursor < fault_events.size() &&
+           fault_events[fault_cursor].time <= now) {
+      const FaultEvent& event = fault_events[fault_cursor++];
+      DCN_REQUIRE(event.time >= 0.0, "fault time must be >= 0");
+      if (event.kind == FaultKind::kLinkDown) {
+        dead.KillEdge(static_cast<graph::EdgeId>(event.entity));
+        killed = true;
+      } else if (event.kind == FaultKind::kNodeDown) {
+        dead.KillNode(static_cast<graph::NodeId>(event.entity));
+        killed = true;
+      }
+    }
+    return killed;
+  };
+
   double now = 0.0;
+  if (apply_due_faults(now)) {
+    for (std::size_t f = 0; f < routes.size(); ++f) {
+      if (done[f] || !crosses_dead(routes[f])) continue;
+      done[f] = true;
+      --active;
+      ++result.killed_flows;
+    }
+  }
   while (active > 0) {
     // Rates for the currently active flows (finished flows release capacity
     // by being excluded — empty routes get rate 0 and are skipped).
@@ -72,6 +130,28 @@ FluidResult FluidCompletionTimes(const graph::Graph& graph,
       step = std::min(step, remaining[f] / rates.rates[f]);
     }
     DCN_ASSERT(step < kInfinity);
+
+    // A fault before the next completion preempts it: drain to the fault
+    // instant, kill the crossing flows, and recompute with the survivors.
+    const double fault_time = fault_cursor < fault_events.size()
+                                  ? fault_events[fault_cursor].time
+                                  : kInfinity;
+    if (fault_time < now + step) {
+      const double partial = std::max(0.0, fault_time - now);
+      for (std::size_t f = 0; f < routes.size(); ++f) {
+        if (!done[f]) remaining[f] -= rates.rates[f] * partial;
+      }
+      now = std::max(now, fault_time);
+      if (apply_due_faults(now)) {
+        for (std::size_t f = 0; f < routes.size(); ++f) {
+          if (done[f] || !crosses_dead(routes[f])) continue;
+          done[f] = true;
+          --active;
+          ++result.killed_flows;
+        }
+      }
+      continue;
+    }
     now += step;
 
     for (std::size_t f = 0; f < routes.size(); ++f) {

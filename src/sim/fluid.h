@@ -13,6 +13,7 @@
 
 #include "graph/graph.h"
 #include "routing/route.h"
+#include "sim/failures.h"
 
 namespace dcn::sim {
 
@@ -22,6 +23,9 @@ struct FluidResult {
   std::vector<double> finish_time;
   double makespan = 0.0;  // max finite finish time (0 if none)
   int rate_recomputations = 0;
+  // Flows terminated by a mid-run fault (finish_time stays infinity). Zero
+  // for the schedule-free overload.
+  std::uint64_t killed_flows = 0;
 };
 
 // `bytes[f]` units of data for flow f over routes[f]; link capacity is in
@@ -29,6 +33,19 @@ struct FluidResult {
 FluidResult FluidCompletionTimes(const graph::Graph& graph,
                                  const std::vector<routing::Route>& routes,
                                  const std::vector<double>& bytes,
+                                 double link_capacity = 1.0);
+
+// Fault-aware overload: the drain loop advances to min(next completion, next
+// fault time); at a fault, kLinkDown / kNodeDown terminate every active flow
+// whose route crosses the dead element (finish_time stays infinity, counted
+// in killed_flows) and the survivors' max-min rates are recomputed with the
+// released capacity. kLinkDegrade / kLinkRestore are queueing-granularity
+// events and are ignored by the fluid model. An empty schedule is
+// byte-identical to the overload above.
+FluidResult FluidCompletionTimes(const graph::Graph& graph,
+                                 const std::vector<routing::Route>& routes,
+                                 const std::vector<double>& bytes,
+                                 const FaultSchedule& faults,
                                  double link_capacity = 1.0);
 
 // A coflow: the set of flow indices belonging to one application stage; its

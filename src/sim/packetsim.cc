@@ -383,6 +383,24 @@ PacketSimResult RunPacketSimSerialImpl(
   Rng rng{config.seed};
   PacketSimResult result;
 
+  // Mid-run faults: per-directed-link capacity ops applied in time order.
+  // Capacity is consulted only at enqueue (drain-then-dead), so an empty
+  // schedule leaves every branch below untouched. Faults never draw from
+  // `rng`, so the injection stream is identical with or without them.
+  const std::vector<LinkCapOp> fault_ops =
+      config.faults.Empty()
+          ? std::vector<LinkCapOp>{}
+          : ExpandFaultSchedule(graph, config.faults, config.queue_capacity);
+  std::vector<std::int32_t> caps;
+  if (!fault_ops.empty()) caps.assign(link_count, config.queue_capacity);
+  std::size_t fault_cursor = 0;
+
+  // Online health monitor (obs/monitor.h): per-link tx/drop counts bucketed
+  // into fixed windows by floor(time / width) — the same attribution rule the
+  // sharded engine uses — and stepped at window boundaries. Observational
+  // only; inactive unless config.monitor.enabled.
+  LinkHealthHarness mon(graph, link_count, config.monitor, config.duration);
+
   // Flight recorder (obs/flight.h): purely observational. Sampling decisions
   // come from an RNG stream forked off the recorder's own salt — never from
   // `rng` — so results below are byte-identical with the recorder on or off.
@@ -408,8 +426,11 @@ PacketSimResult RunPacketSimSerialImpl(
   // On enqueue, a packet either joins the FIFO (starting service if the link
   // was idle) or is dropped.
   auto enqueue = [&](std::uint32_t packet, std::uint64_t link, double now) {
-    if (links.Size(link) >= config.queue_capacity) {
+    const std::int32_t cap =
+        caps.empty() ? config.queue_capacity : caps[link];
+    if (links.Size(link) >= cap) {
       if (pool[packet].measured) ++result.dropped;
+      if (mon.on()) mon.CountDrop(mon.WindowIndex(now), link);
       if (fr_sample) fr->PacketDropped(pool[packet].rec, link, now);
       if (fr_ts) fr->InFlight(now, --fr_in_flight);
       return;
@@ -438,6 +459,12 @@ PacketSimResult RunPacketSimSerialImpl(
     events.Pop();
     ++obs.events;
     const double now = event.time;
+    while (fault_cursor < fault_ops.size() &&
+           fault_ops[fault_cursor].time <= now) {
+      caps[fault_ops[fault_cursor].link] = fault_ops[fault_cursor].capacity;
+      ++fault_cursor;
+    }
+    if (mon.on()) mon.AdvanceTo(mon.WindowIndex(now));
 
     if (event.kind == EventKind::kGenerate) {
       const auto source = static_cast<std::size_t>(event.payload);
@@ -476,6 +503,7 @@ PacketSimResult RunPacketSimSerialImpl(
     // kDepart: the head of this link's queue finished transmission.
     DCN_ASSERT(!links.Empty(event.payload));
     const std::uint32_t id = links.PopFront(event.payload);
+    if (mon.on()) mon.CountTx(mon.WindowIndex(now), event.payload);
     if (fr_ts) fr->LinkTransmit(event.payload, now);
     if (fr_sample) fr->HopDepart(pool[id].rec, now);
     if (!links.Empty(event.payload)) {
@@ -493,6 +521,7 @@ PacketSimResult RunPacketSimSerialImpl(
         const double latency = now - packet.born;
         result.latency.Add(latency);
         AddDeliveryTelemetry(result.telemetry, latency, packet.hop);
+        if (mon.on()) mon.AddDelivery(now, latency);
         if (fr_bd) fr->Delivery(latency, static_cast<int>(packet.hop));
       }
       if (fr_sample) fr->PacketDelivered(packet.rec, now);
@@ -522,6 +551,11 @@ PacketSimResult RunPacketSimSerialImpl(
   FinalizeTelemetry(result.telemetry, graph.Csr(), link_count, links,
                     flow_delivered);
   FlushObs(result, obs);
+  if (mon.on()) {
+    result.monitor = mon.Finish();
+    obs::monitor::PublishRun("packetsim", config.faults.events.size(),
+                             result.monitor);
+  }
   return result;
 }
 
@@ -674,6 +708,32 @@ PacketSimResult RunPacketSimMultipathSharded(
     if (inj.time >= config.warmup) ++result.measured;
   }
 
+  // Mid-run faults. Capacity ops are pre-partitioned by link owner; each
+  // member applies its own ops in time order before the events that read
+  // them, so every enqueue sees the identical per-link capacity the serial
+  // engine would (capacity is only ever read by the link's owner, and member
+  // event times are monotone within and across windows).
+  const std::vector<LinkCapOp> fault_ops =
+      config.faults.Empty()
+          ? std::vector<LinkCapOp>{}
+          : ExpandFaultSchedule(graph, config.faults, config.queue_capacity);
+  std::vector<std::int32_t> caps;
+  if (!fault_ops.empty()) caps.assign(link_count, config.queue_capacity);
+
+  // Online health monitor. Members count departs/drops for their own link
+  // block into per-window matrices (barrier-separated from the coordinator's
+  // reads); the coordinator steps a window's detectors once no remaining
+  // event can touch it — every future event's time is >= `next`, so windows
+  // strictly before WindowOf(next) are final. Window attribution uses the
+  // same floor(time / width) rule as the serial engine.
+  LinkHealthHarness mon(graph, link_count, config.monitor, config.duration);
+  const bool mon_on = mon.on();
+  const double mon_width = mon_on ? mon.width() : 1.0;
+  const std::uint32_t mon_windows = mon_on ? mon.window_count() : 0;
+  std::vector<std::uint32_t> win_tx(
+      mon_on ? static_cast<std::size_t>(mon_windows) * link_count : 0, 0);
+  std::vector<std::uint32_t> win_drop(win_tx.size(), 0);
+
   flight::RunScope flight_run{"packetsim", config.duration, link_count,
                               LaneNamer(graph.Csr())};
   flight::Recorder* const fr = flight_run.recorder();
@@ -691,6 +751,11 @@ PacketSimResult RunPacketSimMultipathSharded(
   auto owner_of = [&](std::uint64_t link) {
     return link_count == 0 ? 0 : static_cast<int>(link * team_u / link_count);
   };
+  std::vector<std::vector<LinkCapOp>> member_fault_ops(
+      static_cast<std::size_t>(team));
+  for (const LinkCapOp& op : fault_ops) {
+    member_fault_ops[static_cast<std::size_t>(owner_of(op.link))].push_back(op);
+  }
 
   std::vector<Member> members(static_cast<std::size_t>(team));
   for (Member& m : members) {
@@ -743,6 +808,7 @@ PacketSimResult RunPacketSimMultipathSharded(
       result.latency.Add(d.latency);
       ++flow_delivered[d.route];
       AddDeliveryTelemetry(result.telemetry, d.latency, d.hops);
+      if (mon_on) mon.AddDelivery(d.time, d.latency);
       if (fr_bd) fr->Delivery(d.latency, static_cast<int>(d.hops));
     }
     if (fr != nullptr) {
@@ -789,6 +855,18 @@ PacketSimResult RunPacketSimMultipathSharded(
     }
     double next = cursor < packet_count ? injections[cursor].time : kNever;
     for (double m : mins) next = std::min(next, m);
+    if (mon_on) {
+      // Windows strictly before the earliest remaining event are final.
+      const std::uint32_t safe =
+          next == kNever
+              ? mon_windows
+              : std::min(mon_windows, obs::monitor::WindowOf(next, mon_width));
+      while (mon.Stepped() < safe) {
+        const auto w = static_cast<std::size_t>(mon.Stepped());
+        mon.StepFrom(win_tx.data() + w * link_count,
+                     win_drop.data() + w * link_count);
+      }
+    }
     open_window(next);
   };
 
@@ -796,13 +874,24 @@ PacketSimResult RunPacketSimMultipathSharded(
   RunTeam(team, [&](int me, SpinBarrier& barrier) {
     OBS_SPAN("packetsim/shard");
     Member& m = members[static_cast<std::size_t>(me)];
+    const std::vector<LinkCapOp>& my_fault_ops =
+        member_fault_ops[static_cast<std::size_t>(me)];
+    std::size_t fault_cursor = 0;
 
     // Enqueue `id` onto `e.link` (or drop), exactly the serial engine's
     // logic, with flight calls buffered at sub_base/sub_base+1.
     auto apply_enqueue = [&](const ShardEvent& e, std::uint32_t sub_base) {
       const std::uint32_t id = e.id;
-      if (store.Size(e.link) >= config.queue_capacity) {
+      const std::int32_t cap_limit =
+          caps.empty() ? config.queue_capacity : caps[e.link];
+      if (store.Size(e.link) >= cap_limit) {
         if (pool[id].measured) ++m.dropped;
+        if (mon_on) {
+          const std::uint32_t w = obs::monitor::WindowOf(e.time, mon_width);
+          if (w < mon_windows) {
+            ++win_drop[static_cast<std::size_t>(w) * link_count + e.link];
+          }
+        }
         if (fr_sample && sampled[id] != 0) {
           m.ops.push_back({e.time, e.key, sub_base, FlightOpKind::kDropped, id,
                            e.link, 0});
@@ -880,9 +969,21 @@ PacketSimResult RunPacketSimMultipathSharded(
       m.processed += m.events.size();
 
       for (const ShardEvent& e : m.events) {
+        while (fault_cursor < my_fault_ops.size() &&
+               my_fault_ops[fault_cursor].time <= e.time) {
+          caps[my_fault_ops[fault_cursor].link] =
+              my_fault_ops[fault_cursor].capacity;
+          ++fault_cursor;
+        }
         if (e.kind == kDepartEvent) {
           const std::uint32_t id = store.PopFront(e.link);
           DCN_ASSERT(id == e.id);
+          if (mon_on) {
+            const std::uint32_t w = obs::monitor::WindowOf(e.time, mon_width);
+            if (w < mon_windows) {
+              ++win_tx[static_cast<std::size_t>(w) * link_count + e.link];
+            }
+          }
           if (fr_ts) {
             m.ops.push_back(
                 {e.time, e.key, 0, FlightOpKind::kTransmit, 0, e.link, 0});
@@ -1015,6 +1116,13 @@ PacketSimResult RunPacketSimMultipathSharded(
   g_team.Set(team);
   for (const Member& m : members) {
     h_shard.Add(static_cast<std::int64_t>(m.processed));
+  }
+  if (mon_on) {
+    // The final coordinate() round saw next == kNever and stepped every
+    // remaining window, so Finish() only moves the result out.
+    result.monitor = mon.Finish();
+    obs::monitor::PublishRun("packetsim", config.faults.events.size(),
+                             result.monitor);
   }
   return result;
 }

@@ -30,9 +30,11 @@
 #include "common/stats.h"
 #include "graph/graph.h"
 #include "obs/flight.h"
+#include "obs/monitor.h"
 #include "obs/rollup.h"
 #include "obs/sketch.h"
 #include "routing/route.h"
+#include "sim/failures.h"
 
 namespace dcn::sim {
 
@@ -44,6 +46,18 @@ struct PacketSimConfig {
   double warmup = 200.0;     // packets born before this are not measured
   int queue_capacity = 16;   // packets per directed-link queue (incl. in service)
   std::uint64_t seed = 0xdcf1035;
+  // Mid-run fault schedule (sim/failures.h): capacity changes applied in
+  // event-time order by every engine. Faults never touch the injection RNG,
+  // so an empty schedule leaves the run byte-identical to one without fault
+  // support; drain-then-dead semantics (capacity checked at enqueue only).
+  FaultSchedule faults;
+  // Online health monitor (obs/monitor.h). When enabled, per-directed-link
+  // "tx"/"drops" windows feed integer EWMA/CUSUM detectors during the run;
+  // the alert log lands in PacketSimResult::monitor and is published to the
+  // process-global store for --alerts-json / trace export. Purely
+  // observational: the packet event order and every pre-existing result
+  // field are byte-identical with the monitor on or off.
+  obs::monitor::MonitorConfig monitor;
 };
 
 // Always-on bounded telemetry (obs/sketch.h, obs/rollup.h), computed by
@@ -89,6 +103,10 @@ struct PacketSimResult {
   // Bounded sketches/heavy hitters/rollups; always populated, also merged
   // into the obs registry ("packetsim/latency", "packetsim/hot_links", ...).
   PacketTelemetry telemetry;
+  // Online-monitor verdicts (alert log, per-window recovery aggregates).
+  // Populated only when config.monitor.enabled; bit-identical at any
+  // DCN_THREADS for a fixed config — the acceptance bar for F24.
+  obs::monitor::MonitorResult monitor;
   double DeliveredFraction() const {
     return measured == 0 ? 0.0
                          : static_cast<double>(delivered) / static_cast<double>(measured);
